@@ -1,0 +1,33 @@
+//! Shared helpers for the per-figure Criterion benches.
+//!
+//! Criterion measures wall-clock time of the *simulations that regenerate
+//! each figure*; the figure's scientific output (the normalized series) is
+//! printed by the `figures` binary. Benches run at `Scale::Quick` so a full
+//! `cargo bench` stays in CI budgets; pass-through of the measured cell is
+//! identical to the paper-scale harness apart from the machine size.
+#![allow(dead_code)] // not every per-figure bench uses every helper
+
+use chats_bench::{Harness, Scale};
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_workloads::{registry, run_workload};
+
+/// Runs one (workload, policy) cell from scratch (no memoization — this is
+/// the timed body).
+pub fn simulate(workload: &str, policy: PolicyConfig) -> u64 {
+    let w = registry::by_name(workload).expect("workload exists");
+    let cfg = Scale::Quick.run_config();
+    run_workload(w.as_ref(), policy, &cfg)
+        .expect("simulation succeeds")
+        .stats
+        .cycles
+}
+
+/// Runs one cell by system shorthand.
+pub fn simulate_sys(workload: &str, system: HtmSystem) -> u64 {
+    simulate(workload, PolicyConfig::for_system(system))
+}
+
+/// A memoizing harness for benches that assert figure shapes once.
+pub fn quick_harness() -> Harness {
+    Harness::new(Scale::Quick)
+}

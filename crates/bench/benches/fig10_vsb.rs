@@ -1,0 +1,30 @@
+//! Figure 10 bench: VSB size × validation interval sweeps.
+
+mod common;
+
+use chats_core::{HtmSystem, PolicyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_vsb");
+    g.sample_size(10);
+    for vsb in [1usize, 4, 32] {
+        for interval in [50u64, 400] {
+            g.bench_function(format!("kmeans-h/CHATS/vsb{vsb}/iv{interval}"), |b| {
+                b.iter(|| {
+                    black_box(common::simulate(
+                        "kmeans-h",
+                        PolicyConfig::for_system(HtmSystem::Chats)
+                            .with_vsb_size(vsb)
+                            .with_validation_interval(interval),
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 11 bench: CHATS / PCHATS vs LEVC-BE-Idealized.
+
+mod common;
+
+use chats_core::HtmSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_levc");
+    g.sample_size(10);
+    for wl in ["intruder", "kmeans-h", "yada"] {
+        for sys in [
+            HtmSystem::Chats,
+            HtmSystem::Pchats,
+            HtmSystem::LevcBeIdealized,
+        ] {
+            g.bench_function(format!("{wl}/{}", sys.label()), |b| {
+                b.iter(|| black_box(common::simulate_sys(wl, sys)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 1 bench: naive requester-speculates vs the best-effort baseline.
+//!
+//! Times the simulations that produce the Fig. 1 series on a contended and
+//! an uncontended benchmark.
+
+mod common;
+
+use chats_core::HtmSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_naive");
+    g.sample_size(10);
+    for wl in ["kmeans-h", "ssca2"] {
+        for sys in [HtmSystem::Baseline, HtmSystem::NaiveRs] {
+            g.bench_function(format!("{wl}/{}", sys.label()), |b| {
+                b.iter(|| black_box(common::simulate_sys(wl, sys)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

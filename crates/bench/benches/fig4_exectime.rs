@@ -1,0 +1,39 @@
+//! Figure 4 bench: normalized execution time of the five main systems.
+//!
+//! Times one representative contended cell per system and checks the
+//! headline ordering (CHATS faster than the baseline) once per run.
+
+mod common;
+
+use chats_core::HtmSystem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Shape assertion (not timed): CHATS must beat the baseline on the
+    // contended benchmark this figure's story hinges on.
+    let base = common::simulate_sys("kmeans-h", HtmSystem::Baseline);
+    let chats = common::simulate_sys("kmeans-h", HtmSystem::Chats);
+    assert!(
+        chats < base,
+        "fig4 shape violated: CHATS {chats} !< baseline {base}"
+    );
+
+    let mut g = c.benchmark_group("fig4_exectime");
+    g.sample_size(10);
+    for sys in [
+        HtmSystem::Baseline,
+        HtmSystem::NaiveRs,
+        HtmSystem::Chats,
+        HtmSystem::Power,
+        HtmSystem::Pchats,
+    ] {
+        g.bench_function(format!("kmeans-h/{}", sys.label()), |b| {
+            b.iter(|| black_box(common::simulate_sys("kmeans-h", sys)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

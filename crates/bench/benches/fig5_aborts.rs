@@ -1,0 +1,34 @@
+//! Figure 5 bench: abort-cause breakdown simulations.
+
+mod common;
+
+use chats_bench::Scale;
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_workloads::{registry, run_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn aborts(workload: &str, system: HtmSystem) -> u64 {
+    let w = registry::by_name(workload).unwrap();
+    let cfg = Scale::Quick.run_config();
+    run_workload(w.as_ref(), PolicyConfig::for_system(system), &cfg)
+        .unwrap()
+        .stats
+        .total_aborts()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_aborts");
+    g.sample_size(10);
+    for wl in ["yada", "intruder"] {
+        for sys in [HtmSystem::Baseline, HtmSystem::Chats] {
+            g.bench_function(format!("{wl}/{}", sys.label()), |b| {
+                b.iter(|| black_box(aborts(wl, sys)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

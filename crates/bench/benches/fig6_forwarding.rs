@@ -1,0 +1,39 @@
+//! Figure 6 bench: forwarding-outcome accounting simulations.
+
+mod common;
+
+use chats_bench::Scale;
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_workloads::{registry, run_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn forwarder_commits(workload: &str, system: HtmSystem) -> u64 {
+    let w = registry::by_name(workload).unwrap();
+    let cfg = Scale::Quick.run_config();
+    run_workload(w.as_ref(), PolicyConfig::for_system(system), &cfg)
+        .unwrap()
+        .stats
+        .forwarder_outcomes
+        .committed
+}
+
+fn bench(c: &mut Criterion) {
+    // Shape assertion: under CHATS, forwarding transactions commit.
+    assert!(
+        forwarder_commits("kmeans-h", HtmSystem::Chats) > 0,
+        "fig6 shape violated: no forwarder ever committed"
+    );
+
+    let mut g = c.benchmark_group("fig6_forwarding");
+    g.sample_size(10);
+    for wl in ["kmeans-h", "genome", "cadd"] {
+        g.bench_function(format!("{wl}/CHATS"), |b| {
+            b.iter(|| black_box(forwarder_commits(wl, HtmSystem::Chats)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 7 bench: interconnect flit-accounting simulations.
+
+mod common;
+
+use chats_bench::Scale;
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_workloads::{registry, run_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn flits(workload: &str, system: HtmSystem) -> u64 {
+    let w = registry::by_name(workload).unwrap();
+    let cfg = Scale::Quick.run_config();
+    run_workload(w.as_ref(), PolicyConfig::for_system(system), &cfg)
+        .unwrap()
+        .stats
+        .flits
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_network");
+    g.sample_size(10);
+    for wl in ["kmeans-h", "yada"] {
+        for sys in [HtmSystem::Baseline, HtmSystem::Chats, HtmSystem::NaiveRs] {
+            g.bench_function(format!("{wl}/{}", sys.label()), |b| {
+                b.iter(|| black_box(flits(wl, sys)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 8 bench: forwardable-block-set (R/W, W, Rrestrict/W) sweeps.
+
+mod common;
+
+use chats_core::{ForwardSet, HtmSystem, PolicyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_forward_sets");
+    g.sample_size(10);
+    for fs in [
+        ForwardSet::ReadWrite,
+        ForwardSet::WriteOnly,
+        ForwardSet::RestrictedReadWrite,
+    ] {
+        g.bench_function(format!("llb-h/CHATS/{}", fs.label()), |b| {
+            b.iter(|| {
+                black_box(common::simulate(
+                    "llb-h",
+                    PolicyConfig::for_system(HtmSystem::Chats).with_forward_set(fs),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

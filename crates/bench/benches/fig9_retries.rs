@@ -1,0 +1,28 @@
+//! Figure 9 bench: retry-threshold sensitivity sweeps.
+
+mod common;
+
+use chats_core::{HtmSystem, PolicyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_retries");
+    g.sample_size(10);
+    for retries in [1u32, 6, 32] {
+        for sys in [HtmSystem::Baseline, HtmSystem::Chats] {
+            g.bench_function(format!("kmeans-h/{}/r{retries}", sys.label()), |b| {
+                b.iter(|| {
+                    black_box(common::simulate(
+                        "kmeans-h",
+                        PolicyConfig::for_system(sys).with_retries(retries),
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

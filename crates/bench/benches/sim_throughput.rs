@@ -1,0 +1,62 @@
+//! Simulator-engineering bench: raw throughput of the timing machine
+//! itself, plus the cost of the pure CHATS decision function (which in
+//! hardware would be a handful of gates on the L1 probe path).
+
+use chats_core::{chats_resolve, HtmSystem, Pic, PicContext, PolicyConfig};
+use chats_machine::{Machine, Tuning};
+use chats_sim::SystemConfig;
+use chats_tvm::{ProgramBuilder, Reg, Vm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn contended_machine(system: HtmSystem) -> u64 {
+    let mut b = ProgramBuilder::new();
+    let (i, n, addr, v, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    b.imm(i, 0).imm(n, 50);
+    let top = b.label();
+    b.bind(top);
+    b.tx_begin();
+    b.imm(bound, 8);
+    b.rand(addr, bound);
+    b.shli(addr, addr, 3);
+    b.load(v, addr);
+    b.addi(v, v, 1);
+    b.store(addr, v);
+    b.tx_end();
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let prog = b.build();
+    let mut m = Machine::new(
+        SystemConfig::small_test(),
+        PolicyConfig::for_system(system),
+        Tuning::default(),
+        3,
+    );
+    for t in 0..4 {
+        m.load_thread(t, Vm::new(prog.clone(), t as u64));
+    }
+    m.run(50_000_000).expect("bench machine completes").cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(20);
+    g.bench_function("machine/baseline", |b| {
+        b.iter(|| black_box(contended_machine(HtmSystem::Baseline)))
+    });
+    g.bench_function("machine/chats", |b| {
+        b.iter(|| black_box(contended_machine(HtmSystem::Chats)))
+    });
+    g.bench_function("decision/chats_resolve", |b| {
+        let ctx = PicContext {
+            pic: Pic::new(7),
+            cons: false,
+        };
+        b.iter(|| black_box(chats_resolve(black_box(ctx), black_box(Pic::new(12)))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [ids...]        # default: all
+//! figures fig4 headline
+//! figures --quick fig1
+//! ```
+
+use chats_bench::figures;
+use chats_bench::{Harness, Scale};
+use chats_core::PolicyConfig;
+use chats_stats::BarChart;
+use chats_workloads::registry;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut bars = false;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--bars" => bars = true,
+            "--csv" => {
+                csv_dir = Some(args.next().expect("--csv needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--quick] [--bars] [--csv DIR] [ids...]");
+                println!("available ids: {}", figures::available().join(", "));
+                println!("--bars additionally renders the Fig. 4 summary as bar charts");
+                println!("--csv DIR also writes each table as DIR/<id>.csv");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = figures::available().iter().map(|s| s.to_string()).collect();
+    }
+    let h = Harness::new(scale);
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+    }
+    for id in &ids {
+        println!("=== {id} ===");
+        let t = figures::run_by_name(&h, id);
+        println!("{t}");
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id}.csv");
+            std::fs::write(&path, t.to_csv()).expect("write csv");
+        }
+    }
+    if bars {
+        println!("=== fig4 (bars) ===");
+        for w in registry::all() {
+            let base = h.baseline_cycles(w.as_ref());
+            let mut chart = BarChart::new(w.name(), 40);
+            for sys in figures::MAIN_SYSTEMS {
+                let s = h.measure(w.as_ref(), PolicyConfig::for_system(sys));
+                chart.bar(sys.label(), s.cycles as f64 / base);
+            }
+            println!("{chart}");
+        }
+    }
+}

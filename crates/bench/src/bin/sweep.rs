@@ -1,0 +1,150 @@
+//! Ad-hoc parameter exploration from the command line.
+//!
+//! ```text
+//! sweep --workload kmeans-h --system chats --retries 1,2,4,8,16,32
+//! sweep --workload yada     --system chats --vsb 1,2,4,8
+//! sweep --workload genome   --system all
+//! sweep --workload llb-h --system chats --threads 2,4,8,16
+//! ```
+//!
+//! Prints one row per configuration: cycles, commits, aborts, forwardings
+//! and flits — everything a downstream user needs to explore the design
+//! space beyond the paper's figures.
+
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_stats::Table;
+use chats_workloads::{registry, run_workload, RunConfig};
+
+fn parse_list(v: &str) -> Vec<u64> {
+    v.split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad number {s:?}")))
+        .collect()
+}
+
+fn parse_system(v: &str) -> Vec<HtmSystem> {
+    match v.to_ascii_lowercase().as_str() {
+        "baseline" => vec![HtmSystem::Baseline],
+        "naive" | "naive-rs" => vec![HtmSystem::NaiveRs],
+        "chats" => vec![HtmSystem::Chats],
+        "power" => vec![HtmSystem::Power],
+        "pchats" => vec![HtmSystem::Pchats],
+        "levc" => vec![HtmSystem::LevcBeIdealized],
+        "all" => HtmSystem::ALL.to_vec(),
+        other => panic!("unknown system {other:?} (try baseline/naive/chats/power/pchats/levc/all)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = String::from("kmeans-h");
+    let mut systems = vec![HtmSystem::Chats];
+    let mut retries: Vec<u64> = vec![];
+    let mut vsbs: Vec<u64> = vec![];
+    let mut intervals: Vec<u64> = vec![];
+    let mut threads: Vec<u64> = vec![];
+    let mut seed = 0xC4A75u64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("{a} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--workload" | "-w" => workload = val(),
+            "--system" | "-s" => systems = parse_system(&val()),
+            "--retries" => retries = parse_list(&val()),
+            "--vsb" => vsbs = parse_list(&val()),
+            "--interval" => intervals = parse_list(&val()),
+            "--threads" | "-t" => threads = parse_list(&val()),
+            "--seed" => seed = val().parse().expect("bad seed"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep [--workload NAME] [--system S] [--retries a,b,..]\n\
+                     \x20            [--vsb a,b,..] [--interval a,b,..] [--threads a,b,..] [--seed N]"
+                );
+                println!(
+                    "workloads: {}",
+                    registry::all()
+                        .iter()
+                        .map(|w| w.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return;
+            }
+            other => panic!("unknown flag {other:?} (try --help)"),
+        }
+    }
+
+    // Unswept dimensions collapse to the Table II default (encoded as 0).
+    if retries.is_empty() {
+        retries.push(0);
+    }
+    if vsbs.is_empty() {
+        vsbs.push(0);
+    }
+    if intervals.is_empty() {
+        intervals.push(u64::MAX);
+    }
+    if threads.is_empty() {
+        threads.push(0);
+    }
+
+    let w = registry::by_name(&workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload:?} (try --help)"));
+
+    let mut t = Table::new(vec![
+        "system".into(),
+        "threads".into(),
+        "retries".into(),
+        "vsb".into(),
+        "interval".into(),
+        "cycles".into(),
+        "commits".into(),
+        "aborts".into(),
+        "forwardings".into(),
+        "flits".into(),
+    ]);
+    for &sys in &systems {
+        for &r in &retries {
+            for &v in &vsbs {
+                for &iv in &intervals {
+                    for &th in &threads {
+                        let mut policy = PolicyConfig::for_system(sys);
+                        if r != 0 {
+                            policy = policy.with_retries(r as u32);
+                        }
+                        if v != 0 {
+                            policy = policy.with_vsb_size(v as usize);
+                        }
+                        if iv != u64::MAX {
+                            policy = policy.with_validation_interval(iv);
+                        }
+                        let mut cfg = RunConfig::paper().with_seed(seed);
+                        if th != 0 {
+                            cfg.threads = th as usize;
+                        }
+                        let s = run_workload(w.as_ref(), policy, &cfg)
+                            .unwrap_or_else(|e| panic!("{e}"))
+                            .stats;
+                        t.row(vec![
+                            sys.label().into(),
+                            cfg.threads.to_string(),
+                            policy.retries.to_string(),
+                            policy.vsb_size.to_string(),
+                            policy.validation_interval.to_string(),
+                            s.cycles.to_string(),
+                            s.commits.to_string(),
+                            s.total_aborts().to_string(),
+                            s.forwardings.to_string(),
+                            s.flits.to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    println!("{workload} (seed {seed})\n{t}");
+}

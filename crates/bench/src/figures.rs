@@ -1,0 +1,640 @@
+//! One function per table/figure of the paper (see DESIGN.md §5 for the
+//! experiment index).
+
+use crate::harness::Harness;
+use chats_core::{AbortCause, ForwardSet, HtmSystem, PolicyConfig};
+use chats_sim::SystemConfig;
+use chats_stats::{amean, gmean, Table};
+use chats_workloads::registry;
+
+/// The comparison systems of Figs. 1 and 4–7, in plotting order.
+pub const MAIN_SYSTEMS: [HtmSystem; 5] = [
+    HtmSystem::Baseline,
+    HtmSystem::NaiveRs,
+    HtmSystem::Chats,
+    HtmSystem::Power,
+    HtmSystem::Pchats,
+];
+
+/// Table I: simulated system parameters.
+#[must_use]
+pub fn table1() -> Table {
+    let s = SystemConfig::default();
+    let mut t = Table::new(vec!["parameter".into(), "value".into()]);
+    t.row(vec!["cores".into(), s.core.cores.to_string()]);
+    t.row(vec![
+        "L1 D cache".into(),
+        format!(
+            "private, {} KiB, {}-way, {}-cycle hit",
+            s.mem.l1_sets * s.mem.l1_ways * 64 / 1024,
+            s.mem.l1_ways,
+            s.mem.l1_hit_latency
+        ),
+    ]);
+    t.row(vec![
+        "shared LLC/directory".into(),
+        format!("{}-cycle access (folded L2/L3)", s.mem.dir_latency),
+    ]);
+    t.row(vec![
+        "memory".into(),
+        format!("{}-cycle latency behind the LLC", s.mem.mem_latency),
+    ]);
+    t.row(vec!["protocol".into(), "MESI, directory-based (blocking)".into()]);
+    t.row(vec!["topology".into(), "crossbar".into()]);
+    t.row(vec![
+        "message size".into(),
+        format!(
+            "{} flits (data), {} flit (control)",
+            s.noc.data_flits, s.noc.control_flits
+        ),
+    ]);
+    t.row(vec![
+        "link latency / bandwidth".into(),
+        format!("{} cycle / 1 flit per cycle", s.noc.link_latency),
+    ]);
+    t
+}
+
+/// Table II: HTM system configurations.
+#[must_use]
+pub fn table2() -> Table {
+    let mut t = Table::new(vec![
+        "system".into(),
+        "block state".into(),
+        "retries".into(),
+        "VSB size".into(),
+        "cycles valid.".into(),
+    ]);
+    for sys in HtmSystem::ALL {
+        let c = PolicyConfig::for_system(sys);
+        let (fs, vsb, val) = if sys.forwards() {
+            (
+                c.forward_set.label().to_string(),
+                c.vsb_size.to_string(),
+                c.validation_interval.to_string(),
+            )
+        } else {
+            ("NA".into(), "NA".into(), "NA".into())
+        };
+        t.row(vec![sys.label().into(), fs, c.retries.to_string(), vsb, val]);
+    }
+    t
+}
+
+/// Normalized execution time of `systems` over the baseline, one row per
+/// workload, plus amean/gmean rows over the STAMP subset.
+fn exec_time_table(h: &Harness, systems: &[HtmSystem]) -> Table {
+    let mut headers = vec!["benchmark".into()];
+    headers.extend(systems.iter().map(|s| s.label().to_string()));
+    let mut t = Table::new(headers);
+    let mut per_system: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    for w in registry::all() {
+        let base = h.baseline_cycles(w.as_ref());
+        let mut vals = Vec::new();
+        for (k, &sys) in systems.iter().enumerate() {
+            let v = h.measure(w.as_ref(), PolicyConfig::for_system(sys)).cycles as f64 / base;
+            if !w.is_micro() {
+                per_system[k].push(v);
+            }
+            vals.push(v);
+        }
+        let label = if w.is_micro() {
+            format!("{} (u)", w.name())
+        } else {
+            w.name().to_string()
+        };
+        t.row_f64(&label, &vals);
+    }
+    let am: Vec<f64> = per_system.iter().map(|v| amean(v)).collect();
+    let gm: Vec<f64> = per_system.iter().map(|v| gmean(v)).collect();
+    t.row_f64("amean", &am);
+    t.row_f64("gmean", &gm);
+    t
+}
+
+/// Figure 1: naive requester-speculates vs the best-effort baseline.
+#[must_use]
+pub fn fig1(h: &Harness) -> Table {
+    exec_time_table(h, &[HtmSystem::Baseline, HtmSystem::NaiveRs])
+}
+
+/// Figure 4: normalized execution time of all main systems.
+#[must_use]
+pub fn fig4(h: &Harness) -> Table {
+    exec_time_table(h, &MAIN_SYSTEMS)
+}
+
+/// Figure 5: aborted transactions split by cause.
+#[must_use]
+pub fn fig5(h: &Harness) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "system".into(),
+        "conflict".into(),
+        "capacity".into(),
+        "val-mismatch".into(),
+        "cycle".into(),
+        "val-budget".into(),
+        "fallback-lock".into(),
+        "total".into(),
+    ]);
+    for w in registry::all() {
+        for sys in MAIN_SYSTEMS {
+            let s = h.measure(w.as_ref(), PolicyConfig::for_system(sys));
+            t.row(vec![
+                w.name().into(),
+                sys.label().into(),
+                s.aborts_by(AbortCause::Conflict).to_string(),
+                s.aborts_by(AbortCause::Capacity).to_string(),
+                s.aborts_by(AbortCause::ValidationMismatch).to_string(),
+                s.aborts_by(AbortCause::CycleDetected).to_string(),
+                s.aborts_by(AbortCause::ValidationBudgetExhausted).to_string(),
+                s.aborts_by(AbortCause::FallbackLock).to_string(),
+                s.total_aborts().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 6: transactions that conflicted / forwarded data, split by how
+/// the attempt finished.
+#[must_use]
+pub fn fig6(h: &Harness) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "system".into(),
+        "conflicted-committed".into(),
+        "conflicted-aborted".into(),
+        "forwarder-committed".into(),
+        "forwarder-aborted".into(),
+        "forwardings".into(),
+    ]);
+    for w in registry::all() {
+        for sys in MAIN_SYSTEMS {
+            let s = h.measure(w.as_ref(), PolicyConfig::for_system(sys));
+            t.row(vec![
+                w.name().into(),
+                sys.label().into(),
+                s.conflicted_outcomes.committed.to_string(),
+                s.conflicted_outcomes.aborted.to_string(),
+                s.forwarder_outcomes.committed.to_string(),
+                s.forwarder_outcomes.aborted.to_string(),
+                s.forwardings.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 7: normalized network usage in flits.
+#[must_use]
+pub fn fig7(h: &Harness) -> Table {
+    let mut headers = vec!["benchmark".into()];
+    headers.extend(MAIN_SYSTEMS.iter().map(|s| s.label().to_string()));
+    let mut t = Table::new(headers);
+    let mut per_system: Vec<Vec<f64>> = vec![Vec::new(); MAIN_SYSTEMS.len()];
+    for w in registry::all() {
+        let base = h
+            .measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline))
+            .flits as f64;
+        let mut vals = Vec::new();
+        for (k, &sys) in MAIN_SYSTEMS.iter().enumerate() {
+            let v = h.measure(w.as_ref(), PolicyConfig::for_system(sys)).flits as f64 / base;
+            if !w.is_micro() {
+                per_system[k].push(v);
+            }
+            vals.push(v);
+        }
+        t.row_f64(w.name(), &vals);
+    }
+    let gm: Vec<f64> = per_system.iter().map(|v| gmean(v)).collect();
+    t.row_f64("gmean", &gm);
+    t
+}
+
+/// Figure 8: which blocks may be forwarded (R/W, W, Rrestrict/W),
+/// normalized to CHATS with R/W.
+#[must_use]
+pub fn fig8(h: &Harness) -> Table {
+    let sets = [
+        ForwardSet::ReadWrite,
+        ForwardSet::WriteOnly,
+        ForwardSet::RestrictedReadWrite,
+    ];
+    let mut headers = vec!["benchmark".into()];
+    for sys in [HtmSystem::Chats, HtmSystem::Pchats] {
+        for fs in sets {
+            headers.push(format!("{} {}", sys.label(), fs.label()));
+        }
+    }
+    let mut t = Table::new(headers);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    for w in registry::all() {
+        let norm = h
+            .measure(
+                w.as_ref(),
+                PolicyConfig::for_system(HtmSystem::Chats).with_forward_set(ForwardSet::ReadWrite),
+            )
+            .cycles as f64;
+        let mut vals = Vec::new();
+        for (i, sys) in [HtmSystem::Chats, HtmSystem::Pchats].into_iter().enumerate() {
+            for (j, fs) in sets.into_iter().enumerate() {
+                let s = h.measure(
+                    w.as_ref(),
+                    PolicyConfig::for_system(sys).with_forward_set(fs),
+                );
+                let v = s.cycles as f64 / norm;
+                if !w.is_micro() {
+                    cols[i * 3 + j].push(v);
+                }
+                vals.push(v);
+            }
+        }
+        t.row_f64(w.name(), &vals);
+    }
+    let gm: Vec<f64> = cols.iter().map(|v| gmean(v)).collect();
+    t.row_f64("gmean", &gm);
+    t
+}
+
+/// Figure 9: execution time vs number of retries before the fallback path
+/// (gmean over the STAMP subset, normalized to each system's Table II
+/// default).
+#[must_use]
+pub fn fig9(h: &Harness) -> Table {
+    let retry_values = [1u32, 2, 4, 6, 8, 16, 32, 64];
+    let systems = [
+        HtmSystem::Baseline,
+        HtmSystem::Chats,
+        HtmSystem::Power,
+        HtmSystem::Pchats,
+    ];
+    let mut headers = vec!["retries".into()];
+    headers.extend(systems.iter().map(|s| s.label().to_string()));
+    let mut t = Table::new(headers);
+    for r in retry_values {
+        let mut vals = Vec::new();
+        for sys in systems {
+            let mut per_wl = Vec::new();
+            for w in registry::stamp() {
+                let base = h.baseline_cycles(w.as_ref());
+                let s = h.measure(
+                    w.as_ref(),
+                    PolicyConfig::for_system(sys).with_retries(r),
+                );
+                per_wl.push(s.cycles as f64 / base);
+            }
+            vals.push(gmean(&per_wl));
+        }
+        t.row_f64(&r.to_string(), &vals);
+    }
+    t
+}
+
+/// The contended subset used for the Fig. 10 sensitivity heatmaps.
+fn contended() -> Vec<&'static str> {
+    vec!["genome", "intruder", "kmeans-h", "yada"]
+}
+
+/// Figure 10: VSB size × validation interval, execution time (left) and
+/// aborts (right), normalized to the (50-cycle, VSB=1) corner, gmean over
+/// the contended subset. One row per VSB size.
+#[must_use]
+pub fn fig10(h: &Harness) -> Table {
+    let vsb_sizes = [1usize, 2, 4, 8, 16, 32];
+    let intervals = [50u64, 100, 200, 400];
+    let mut headers = vec!["VSB \\ interval".into()];
+    for iv in intervals {
+        headers.push(format!("time@{iv}"));
+    }
+    for iv in intervals {
+        headers.push(format!("aborts@{iv}"));
+    }
+    let mut t = Table::new(headers);
+    let corner: Vec<(f64, f64)> = contended()
+        .iter()
+        .map(|name| {
+            let w = registry::by_name(name).unwrap();
+            let s = h.measure(
+                w.as_ref(),
+                PolicyConfig::for_system(HtmSystem::Chats)
+                    .with_vsb_size(1)
+                    .with_validation_interval(50),
+            );
+            (s.cycles as f64, s.total_aborts().max(1) as f64)
+        })
+        .collect();
+    for vsb in vsb_sizes {
+        let mut times = Vec::new();
+        let mut aborts = Vec::new();
+        for iv in intervals {
+            let mut tr = Vec::new();
+            let mut ar = Vec::new();
+            for (k, name) in contended().iter().enumerate() {
+                let w = registry::by_name(name).unwrap();
+                let s = h.measure(
+                    w.as_ref(),
+                    PolicyConfig::for_system(HtmSystem::Chats)
+                        .with_vsb_size(vsb)
+                        .with_validation_interval(iv),
+                );
+                tr.push(s.cycles as f64 / corner[k].0);
+                ar.push(s.total_aborts().max(1) as f64 / corner[k].1);
+            }
+            times.push(gmean(&tr));
+            aborts.push(gmean(&ar));
+        }
+        let mut vals = times;
+        vals.extend(aborts);
+        t.row_f64(&vsb.to_string(), &vals);
+    }
+    t
+}
+
+/// Figure 11: CHATS and PCHATS against LEVC-BE-Idealized, normalized to
+/// the baseline.
+#[must_use]
+pub fn fig11(h: &Harness) -> Table {
+    exec_time_table(
+        h,
+        &[
+            HtmSystem::Chats,
+            HtmSystem::Pchats,
+            HtmSystem::LevcBeIdealized,
+        ],
+    )
+}
+
+/// Thread-count scaling (extension experiment): throughput speedup over
+/// one thread for the baseline and CHATS on kmeans-h. The paper runs 16
+/// threads because STAMP scales poorly beyond that; this quantifies how
+/// much of the scalability loss CHATS recovers.
+#[must_use]
+pub fn scaling(_h: &Harness) -> Table {
+    use chats_workloads::{run_workload, RunConfig};
+    let systems = [HtmSystem::Baseline, HtmSystem::Chats];
+    let mut headers = vec!["threads".into()];
+    for sys in systems {
+        headers.push(format!("{} speedup", sys.label()));
+    }
+    let mut t = Table::new(headers);
+    let measure = |sys: HtmSystem, n: usize| -> f64 {
+        let mut cfg = RunConfig::paper();
+        cfg.threads = n;
+        let w = registry::by_name("kmeans-h").unwrap();
+        let s = run_workload(w.as_ref(), PolicyConfig::for_system(sys), &cfg)
+            .unwrap_or_else(|e| panic!("{e}"));
+        s.stats.cycles as f64
+    };
+    let base_t1: Vec<f64> = systems.iter().map(|&sys| measure(sys, 1)).collect();
+    for n in [1usize, 2, 4, 8, 16] {
+        let mut vals = Vec::new();
+        for (k, &sys) in systems.iter().enumerate() {
+            // n threads perform n x the single-thread work.
+            vals.push(n as f64 * base_t1[k] / measure(sys, n));
+        }
+        t.row_f64(&n.to_string(), &vals);
+    }
+    t
+}
+
+/// PiC register width sensitivity (extension experiment): narrower
+/// registers overflow sooner, truncating chains into requester-wins
+/// aborts. Normalized time per width, gmean over the contended subset.
+#[must_use]
+pub fn picwidth(h: &Harness) -> Table {
+    let mut headers = vec!["pic bits".into()];
+    headers.extend(contended().iter().map(|s| s.to_string()));
+    headers.push("gmean".into());
+    let mut t = Table::new(headers);
+    let five: Vec<f64> = contended()
+        .iter()
+        .map(|name| {
+            let w = registry::by_name(name).unwrap();
+            h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats))
+                .cycles as f64
+        })
+        .collect();
+    for bits in [2u32, 3, 4, 5, 6, 7] {
+        let mut vals = Vec::new();
+        for (k, name) in contended().iter().enumerate() {
+            let w = registry::by_name(name).unwrap();
+            let s = h.measure(
+                w.as_ref(),
+                PolicyConfig::for_system(HtmSystem::Chats).with_pic_bits(bits),
+            );
+            vals.push(s.cycles as f64 / five[k]);
+        }
+        let g = gmean(&vals);
+        vals.push(g);
+        t.row_f64(&bits.to_string(), &vals);
+    }
+    t
+}
+
+/// Chain-depth evidence for the 5-bit PiC sizing claim (§IV-C): how far
+/// from the initial value PiCs actually travel under CHATS.
+#[must_use]
+pub fn chains(h: &Harness) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "forwardings".into(),
+        "max depth".into(),
+        "depth 0".into(),
+        "depth 1".into(),
+        "depth 2".into(),
+        "depth 3+".into(),
+    ]);
+    for w in registry::all() {
+        let s = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats));
+        let at = |d: u32| s.chain_depth_hist.get(&d).copied().unwrap_or(0);
+        let deep: u64 = s
+            .chain_depth_hist
+            .iter()
+            .filter(|(d, _)| **d >= 3)
+            .map(|(_, n)| *n)
+            .sum();
+        t.row(vec![
+            w.name().into(),
+            s.forwardings.to_string(),
+            s.max_chain_depth.to_string(),
+            at(0).to_string(),
+            at(1).to_string(),
+            at(2).to_string(),
+            deep.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation study (DESIGN.md §6): what each CHATS design choice buys,
+/// measured on the contended subset and normalized to full CHATS.
+#[must_use]
+pub fn ablations(h: &Harness) -> Table {
+    use chats_core::Ablation;
+    let variants: [(&str, Ablation); 4] = [
+        ("full CHATS", Ablation::default()),
+        (
+            "no PiC overtake (Fig.3F off)",
+            Ablation {
+                no_pic_overtake: true,
+                single_link_chains: false,
+            },
+        ),
+        (
+            "single-link chains (LEVC-like)",
+            Ablation {
+                no_pic_overtake: false,
+                single_link_chains: true,
+            },
+        ),
+        (
+            "both ablations",
+            Ablation {
+                no_pic_overtake: true,
+                single_link_chains: true,
+            },
+        ),
+    ];
+    let mut headers = vec!["variant".into()];
+    headers.extend(contended().iter().map(|s| s.to_string()));
+    headers.push("gmean".into());
+    let mut t = Table::new(headers);
+    let full: Vec<f64> = contended()
+        .iter()
+        .map(|name| {
+            let w = registry::by_name(name).unwrap();
+            h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats))
+                .cycles as f64
+        })
+        .collect();
+    for (label, ab) in variants {
+        let mut vals = Vec::new();
+        for (k, name) in contended().iter().enumerate() {
+            let w = registry::by_name(name).unwrap();
+            let s = h.measure(
+                w.as_ref(),
+                PolicyConfig::for_system(HtmSystem::Chats).with_ablation(ab),
+            );
+            vals.push(s.cycles as f64 / full[k]);
+        }
+        let g = gmean(&vals);
+        vals.push(g);
+        t.row_f64(label, &vals);
+    }
+    t
+}
+
+/// Headline numbers quoted in the abstract: mean execution-time reduction
+/// of CHATS vs baseline and PCHATS vs Power, and abort reductions.
+#[must_use]
+pub fn headline(h: &Harness) -> Table {
+    let mut chats_t = Vec::new();
+    let mut pchats_vs_power = Vec::new();
+    let mut chats_ab = (0u64, 0u64);
+    let mut pchats_ab = (0u64, 0u64);
+    for w in registry::stamp() {
+        let base = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline));
+        let chats = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats));
+        let power = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Power));
+        let pchats = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Pchats));
+        chats_t.push(chats.cycles as f64 / base.cycles as f64);
+        pchats_vs_power.push(pchats.cycles as f64 / power.cycles as f64);
+        chats_ab.0 += chats.total_aborts();
+        chats_ab.1 += base.total_aborts();
+        pchats_ab.0 += pchats.total_aborts();
+        pchats_ab.1 += power.total_aborts();
+    }
+    let mut t = Table::new(vec!["metric".into(), "value".into(), "paper".into()]);
+    t.row(vec![
+        "CHATS exec-time reduction vs baseline (amean)".into(),
+        format!("{:.1}%", (1.0 - amean(&chats_t)) * 100.0),
+        "22%".into(),
+    ]);
+    t.row(vec![
+        "PCHATS exec-time reduction vs Power (amean)".into(),
+        format!("{:.1}%", (1.0 - amean(&pchats_vs_power)) * 100.0),
+        "16%".into(),
+    ]);
+    t.row(vec![
+        "CHATS abort reduction vs baseline".into(),
+        format!(
+            "{:.1}%",
+            (1.0 - chats_ab.0 as f64 / chats_ab.1.max(1) as f64) * 100.0
+        ),
+        "34%".into(),
+    ]);
+    t.row(vec![
+        "PCHATS abort reduction vs Power".into(),
+        format!(
+            "{:.1}%",
+            (1.0 - pchats_ab.0 as f64 / pchats_ab.1.max(1) as f64) * 100.0
+        ),
+        "49%".into(),
+    ]);
+    t
+}
+
+/// All figure/table generators by id.
+#[must_use]
+pub fn available() -> Vec<&'static str> {
+    vec![
+        "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "ablations", "chains", "picwidth", "scaling", "headline",
+    ]
+}
+
+/// Runs one experiment by id and returns its rendered table.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+#[must_use]
+pub fn run_by_name(h: &Harness, id: &str) -> Table {
+    match id {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig1" => fig1(h),
+        "fig4" => fig4(h),
+        "fig5" => fig5(h),
+        "fig6" => fig6(h),
+        "fig7" => fig7(h),
+        "fig8" => fig8(h),
+        "fig9" => fig9(h),
+        "fig10" => fig10(h),
+        "fig11" => fig11(h),
+        "ablations" => ablations(h),
+        "chains" => chains(h),
+        "picwidth" => picwidth(h),
+        "scaling" => scaling(h),
+        "headline" => headline(h),
+        other => panic!("unknown experiment id {other:?}; try one of {:?}", available()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn tables_render_without_simulation() {
+        assert!(table1().to_string().contains("cores"));
+        assert!(table2().to_string().contains("CHATS"));
+        assert_eq!(table2().len(), 6);
+    }
+
+    #[test]
+    fn fig1_runs_at_quick_scale() {
+        let h = Harness::new(Scale::Quick);
+        let t = fig1(&h);
+        assert_eq!(t.len(), 12 + 2); // workloads + amean + gmean
+    }
+
+    #[test]
+    fn workload_name_lists_are_consistent() {
+        assert_eq!(registry::all().len(), 12);
+        assert_eq!(registry::stamp().len(), 9);
+    }
+}

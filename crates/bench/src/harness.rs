@@ -1,0 +1,112 @@
+//! Shared measurement harness with per-process memoization.
+
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_stats::RunStats;
+use chats_workloads::{registry, run_workload, RunConfig, Workload};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Experiment scale: the paper-like configuration or a fast CI-friendly
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// 16 cores, full Table I geometry.
+    Paper,
+    /// 4 cores, shrunken caches; for tests and quick sweeps.
+    Quick,
+}
+
+impl Scale {
+    /// The matching run configuration.
+    #[must_use]
+    pub fn run_config(self) -> RunConfig {
+        match self {
+            Scale::Paper => RunConfig::paper(),
+            Scale::Quick => RunConfig::quick_test(),
+        }
+    }
+}
+
+/// A memoizing measurement harness: identical (workload, policy) cells are
+/// simulated once per process.
+pub struct Harness {
+    scale: Scale,
+    cache: Mutex<HashMap<String, RunStats>>,
+}
+
+impl Harness {
+    /// A harness at the given scale.
+    #[must_use]
+    pub fn new(scale: Scale) -> Harness {
+        Harness {
+            scale,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The scale in use.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Runs (or recalls) `workload` under `policy` and returns its stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation times out or the workload's invariant
+    /// checker reports an HTM correctness violation.
+    pub fn measure(&self, workload: &dyn Workload, policy: PolicyConfig) -> RunStats {
+        let key = format!("{}|{policy:?}", workload.name());
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let cfg = self.scale.run_config();
+        let out = run_workload(workload, policy, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(key, out.stats.clone());
+        out.stats
+    }
+
+    /// Convenience: measure a registry workload by name under a system's
+    /// Table II configuration.
+    pub fn measure_named(&self, name: &str, system: HtmSystem) -> RunStats {
+        let w = registry::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        self.measure(w.as_ref(), PolicyConfig::for_system(system))
+    }
+
+    /// Baseline execution time for a workload (the normalization
+    /// denominator used by every figure).
+    pub fn baseline_cycles(&self, workload: &dyn Workload) -> f64 {
+        self.measure(workload, PolicyConfig::for_system(HtmSystem::Baseline))
+            .cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_returns_identical_stats() {
+        let h = Harness::new(Scale::Quick);
+        let w = registry::by_name("ssca2").unwrap();
+        let a = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline));
+        let b = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline));
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.flits, b.flits);
+    }
+
+    #[test]
+    fn distinct_policies_are_distinct_cells() {
+        let h = Harness::new(Scale::Quick);
+        let w = registry::by_name("kmeans-h").unwrap();
+        let a = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline));
+        let b = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats));
+        // Different systems must at least differ in forwarding behaviour.
+        assert_eq!(a.forwardings, 0);
+        assert!(b.forwardings > 0);
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Each `figN` function runs the required (workload × system × parameter)
+//! grid and renders the same rows/series the paper reports, normalized to
+//! the requester-wins baseline exactly as the paper normalizes. The
+//! `figures` binary is the command-line front end; the Criterion benches
+//! under `benches/` wrap representative cells of each grid.
+//!
+//! Absolute numbers will not match gem5 (different substrate — see
+//! DESIGN.md); the *shapes* are the reproduction target, recorded in
+//! EXPERIMENTS.md.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{Harness, Scale};

@@ -1,0 +1,355 @@
+//! The Figure 3 rule table: when to forward, when to fall back to
+//! requester-wins, and how PiCs move.
+//!
+//! Three pure functions cover the whole protocol surface of CHATS:
+//!
+//! * [`chats_resolve`] — run by the *producer* (the transaction that owns
+//!   the conflicting block and receives the forwarded request),
+//! * [`chats_receive_spec`] — run by the *consumer* when a `SpecResp`
+//!   arrives,
+//! * [`validation_pic_check`] — run by the consumer on every validation
+//!   response, catching cycles created by racy, out-of-date PiCs (§IV-C).
+//!
+//! The invariant these functions maintain: **after any accepted forwarding,
+//! the producer's PiC is strictly greater than the consumer's**. Since every
+//! edge in the dependency graph therefore goes from a higher PiC to a lower
+//! one (at edge-creation time, and producers only ever *raise* their PiC
+//! when their own consumptions are validated), no cycle can be accepted.
+
+use crate::pic::{Pic, PicContext, PIC_RANGE};
+
+/// Producer-side outcome of a conflict (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictResolution {
+    /// Apply requester-speculates: answer with a `SpecResp` carrying
+    /// `local_pic_after`, which the producer must adopt as its own PiC
+    /// before responding.
+    Forward {
+        /// The producer's PiC after this forwarding (always set, and always
+        /// strictly greater than the requester's PiC).
+        local_pic_after: Pic,
+    },
+    /// Apply requester-wins: the local (producer) transaction aborts and the
+    /// request is serviced with committed data.
+    AbortLocal,
+}
+
+/// Consumer-side outcome of receiving a `SpecResp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecRespAction {
+    /// Consume the speculative value; adopt `new_pic` and set `Cons`.
+    Accept {
+        /// The consumer's PiC after accepting (unchanged if already set).
+        new_pic: Pic,
+    },
+    /// A cycle (or PiC underflow) was detected; the consumer aborts.
+    AbortSelf,
+}
+
+/// Decides how a producer resolves a conflicting request (Fig. 3 / §IV-C).
+///
+/// `local` is the producer's chaining context; `remote` is the PiC carried
+/// by the conflicting request. Returns either a forwarding (with the
+/// producer's updated PiC) or requester-wins.
+///
+/// # Example
+///
+/// ```
+/// use chats_core::{chats_resolve, ConflictResolution, Pic, PicContext};
+///
+/// // Fig. 3D: a consuming transaction (Cons set) may not raise its PiC
+/// // past its producer's, so a request from an equal-or-higher PiC aborts it.
+/// let local = PicContext { pic: Pic::new(10), cons: true };
+/// assert_eq!(chats_resolve(local, Pic::new(10)), ConflictResolution::AbortLocal);
+/// ```
+#[must_use]
+pub fn chats_resolve(local: PicContext, remote: Pic) -> ConflictResolution {
+    chats_resolve_bounded(local, remote, PIC_RANGE)
+}
+
+/// [`chats_resolve`] for a PiC register with `range` usable positions —
+/// the register-width sensitivity experiments. Narrower registers overflow
+/// sooner and fall back to requester-wins more often.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `range < 3`.
+#[must_use]
+pub fn chats_resolve_bounded(local: PicContext, remote: Pic, range: u8) -> ConflictResolution {
+    debug_assert!(range >= 3, "unusable PiC range {range}");
+    match (local.pic.value(), remote.value()) {
+        // Fig. 3A: two unconnected transactions. Producer takes PiC_init.
+        (None, None) => forward_if_consumer_fits(Pic::init_for(range)),
+        // Fig. 3C: unchained producer joins above a chained requester.
+        (None, Some(_)) => match remote.incremented_within(range) {
+            Some(p) => forward_if_consumer_fits(p),
+            None => ConflictResolution::AbortLocal, // overflow
+        },
+        // Fig. 3B: chained producer, unchained requester: PiC unchanged.
+        (Some(_), None) => forward_if_consumer_fits(local.pic),
+        (Some(l), Some(r)) => {
+            if r < l {
+                // Rule (ii): requester already below us; forward, unchanged.
+                // The requester keeps its own (lower) PiC, so no fit check
+                // is needed.
+                ConflictResolution::Forward {
+                    local_pic_after: local.pic,
+                }
+            } else if local.cons {
+                // Fig. 3D/E: we consumed unvalidated data, so raising our
+                // PiC could overtake one of our producers: requester-wins.
+                ConflictResolution::AbortLocal
+            } else {
+                // Fig. 3F: all our consumptions validated; overtake the
+                // requester.
+                match remote.incremented_within(range) {
+                    Some(p) => ConflictResolution::Forward { local_pic_after: p },
+                    None => ConflictResolution::AbortLocal, // overflow
+                }
+            }
+        }
+    }
+}
+
+/// Forwards with `pic` unless an *unchained* requester could not adopt
+/// `pic - 1` (underflow ⇒ requester-wins, §IV-C).
+fn forward_if_consumer_fits(pic: Pic) -> ConflictResolution {
+    if pic.decremented().is_some() {
+        ConflictResolution::Forward {
+            local_pic_after: pic,
+        }
+    } else {
+        ConflictResolution::AbortLocal
+    }
+}
+
+/// Decides how a consumer reacts to a `SpecResp` carrying `fwd_pic`.
+///
+/// An unchained consumer adopts `fwd_pic - 1`; a chained consumer keeps its
+/// PiC but must verify it is still strictly below the producer's — an
+/// equal-or-higher value means a cycle slipped through a race and the
+/// consumer aborts.
+///
+/// # Example
+///
+/// ```
+/// use chats_core::{chats_receive_spec, Pic, PicContext, SpecRespAction};
+///
+/// let own = PicContext { pic: Pic::unset(), cons: false };
+/// match chats_receive_spec(own, Pic::INIT) {
+///     SpecRespAction::Accept { new_pic } => assert_eq!(new_pic, Pic::new(14)),
+///     SpecRespAction::AbortSelf => unreachable!(),
+/// }
+/// ```
+#[must_use]
+pub fn chats_receive_spec(own: PicContext, fwd_pic: Pic) -> SpecRespAction {
+    debug_assert!(fwd_pic.is_set(), "a SpecResp always carries a set PiC");
+    match own.pic.value() {
+        None => match fwd_pic.decremented() {
+            Some(p) => SpecRespAction::Accept { new_pic: p },
+            None => SpecRespAction::AbortSelf, // underflow
+        },
+        Some(own_v) => {
+            let fwd_v = fwd_pic.value().expect("SpecResp PiC is set");
+            if own_v >= fwd_v {
+                SpecRespAction::AbortSelf
+            } else {
+                SpecRespAction::Accept { new_pic: own.pic }
+            }
+        }
+    }
+}
+
+/// The validation-time PiC check (§IV-B): on any validation response that
+/// carries a PiC, the consumer aborts if its own PiC is greater than or
+/// equal to the response's. Returns `true` when the transaction must abort.
+///
+/// This is the safety net for cycles created by stale PiCs in flight.
+#[must_use]
+pub fn validation_pic_check(own: Pic, response_pic: Pic) -> bool {
+    match (own.value(), response_pic.value()) {
+        (Some(o), Some(r)) => o >= r,
+        // A consumer always has a set PiC; being unset here means the
+        // transaction already reset (aborting anyway), so don't signal.
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pic: Pic, cons: bool) -> PicContext {
+        PicContext { pic, cons }
+    }
+
+    #[test]
+    fn fig3a_both_unset_forwards_with_init() {
+        let r = chats_resolve(ctx(Pic::unset(), false), Pic::unset());
+        assert_eq!(
+            r,
+            ConflictResolution::Forward {
+                local_pic_after: Pic::INIT
+            }
+        );
+    }
+
+    #[test]
+    fn fig3b_chained_producer_unchained_requester_keeps_pic() {
+        let r = chats_resolve(ctx(Pic::new(20), true), Pic::unset());
+        assert_eq!(
+            r,
+            ConflictResolution::Forward {
+                local_pic_after: Pic::new(20)
+            }
+        );
+    }
+
+    #[test]
+    fn fig3c_unchained_producer_joins_above_requester() {
+        let r = chats_resolve(ctx(Pic::unset(), false), Pic::new(9));
+        assert_eq!(
+            r,
+            ConflictResolution::Forward {
+                local_pic_after: Pic::new(10)
+            }
+        );
+    }
+
+    #[test]
+    fn fig3d_consumer_with_higher_requester_aborts() {
+        let r = chats_resolve(ctx(Pic::new(5), true), Pic::new(9));
+        assert_eq!(r, ConflictResolution::AbortLocal);
+    }
+
+    #[test]
+    fn fig3e_equal_pics_with_cons_aborts() {
+        let r = chats_resolve(ctx(Pic::new(5), true), Pic::new(5));
+        assert_eq!(r, ConflictResolution::AbortLocal);
+    }
+
+    #[test]
+    fn fig3f_validated_consumer_overtakes() {
+        let r = chats_resolve(ctx(Pic::new(5), false), Pic::new(9));
+        assert_eq!(
+            r,
+            ConflictResolution::Forward {
+                local_pic_after: Pic::new(10)
+            }
+        );
+    }
+
+    #[test]
+    fn rule_two_lower_requester_forwards_unchanged() {
+        // Even while consuming: the requester is already below us.
+        let r = chats_resolve(ctx(Pic::new(8), true), Pic::new(3));
+        assert_eq!(
+            r,
+            ConflictResolution::Forward {
+                local_pic_after: Pic::new(8)
+            }
+        );
+    }
+
+    #[test]
+    fn overflow_falls_back_to_requester_wins() {
+        let top = Pic::new(crate::pic::PIC_RANGE - 1);
+        assert_eq!(
+            chats_resolve(ctx(Pic::unset(), false), top),
+            ConflictResolution::AbortLocal
+        );
+        assert_eq!(
+            chats_resolve(ctx(Pic::new(2), false), top),
+            ConflictResolution::AbortLocal
+        );
+    }
+
+    #[test]
+    fn underflow_falls_back_to_requester_wins() {
+        // Producer at PiC 0 cannot give an unchained requester PiC -1.
+        assert_eq!(
+            chats_resolve(ctx(Pic::new(0), false), Pic::unset()),
+            ConflictResolution::AbortLocal
+        );
+    }
+
+    #[test]
+    fn consumer_accepts_and_adopts_lower_pic() {
+        match chats_receive_spec(ctx(Pic::unset(), false), Pic::new(12)) {
+            SpecRespAction::Accept { new_pic } => assert_eq!(new_pic, Pic::new(11)),
+            SpecRespAction::AbortSelf => panic!("must accept"),
+        }
+    }
+
+    #[test]
+    fn chained_consumer_keeps_its_pic() {
+        match chats_receive_spec(ctx(Pic::new(4), true), Pic::new(12)) {
+            SpecRespAction::Accept { new_pic } => assert_eq!(new_pic, Pic::new(4)),
+            SpecRespAction::AbortSelf => panic!("must accept"),
+        }
+    }
+
+    #[test]
+    fn consumer_detects_inverted_pic_and_aborts() {
+        assert_eq!(
+            chats_receive_spec(ctx(Pic::new(12), true), Pic::new(12)),
+            SpecRespAction::AbortSelf
+        );
+        assert_eq!(
+            chats_receive_spec(ctx(Pic::new(13), true), Pic::new(12)),
+            SpecRespAction::AbortSelf
+        );
+    }
+
+    #[test]
+    fn consumer_underflow_aborts() {
+        assert_eq!(
+            chats_receive_spec(ctx(Pic::unset(), false), Pic::new(0)),
+            SpecRespAction::AbortSelf
+        );
+    }
+
+    #[test]
+    fn validation_check_flags_cycles() {
+        assert!(validation_pic_check(Pic::new(9), Pic::new(9)));
+        assert!(validation_pic_check(Pic::new(10), Pic::new(9)));
+        assert!(!validation_pic_check(Pic::new(8), Pic::new(9)));
+        assert!(!validation_pic_check(Pic::unset(), Pic::new(9)));
+    }
+
+    /// The paper's central claim, checked exhaustively for the producer
+    /// side: whenever `chats_resolve` forwards, the producer's PiC after
+    /// the forwarding is strictly greater than the PiC the consumer ends up
+    /// with.
+    #[test]
+    fn forwarding_always_orders_producer_above_consumer() {
+        let pics: Vec<Pic> = std::iter::once(Pic::unset())
+            .chain((0..crate::pic::PIC_RANGE).map(Pic::new))
+            .collect();
+        for &local_pic in &pics {
+            for cons in [false, true] {
+                for &remote in &pics {
+                    let local = ctx(local_pic, cons);
+                    if let ConflictResolution::Forward { local_pic_after } =
+                        chats_resolve(local, remote)
+                    {
+                        let producer = local_pic_after.value().expect("forward sets PiC");
+                        // What does the consumer end up with?
+                        let consumer_after = match chats_receive_spec(
+                            ctx(remote, remote.is_set()),
+                            local_pic_after,
+                        ) {
+                            SpecRespAction::Accept { new_pic } => new_pic,
+                            SpecRespAction::AbortSelf => continue, // no edge created
+                        };
+                        let consumer = consumer_after.value().expect("consumer PiC set");
+                        assert!(
+                            producer > consumer,
+                            "{local_pic:?}/{cons} vs {remote:?}: producer {producer} !> consumer {consumer}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

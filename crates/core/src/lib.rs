@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! CHATS — CHAining TransactionS: the paper's primary contribution.
+//!
+//! This crate implements the *logic* of CHATS and of every conflict
+//! resolution policy it is evaluated against, independent of any timing
+//! model. All decisions here are pure functions over small pieces of state,
+//! which is what makes the mechanism cheap in hardware (< 280 bytes/core)
+//! and what lets this crate prove its key invariant with property tests:
+//! **no sequence of forwarding decisions accepted by the PiC rules can
+//! create a dependency cycle**.
+//!
+//! The pieces, mirroring §III–§IV of the paper:
+//!
+//! * [`pic`] — the 5-bit *Position in Chain* register and the `Cons` bit,
+//! * [`decision`] — the Figure 3 rule table: producer-side conflict
+//!   resolution, consumer-side `SpecResp` acceptance, and the validation
+//!   PiC check,
+//! * [`vsb`] — the 4-entry *Validation State Buffer* holding pristine
+//!   copies of speculatively received lines,
+//! * [`policy`] — the six evaluated HTM systems (Table II) and their
+//!   configuration knobs,
+//! * [`abort`] — abort-cause taxonomy (Figure 5),
+//! * [`retry`] — retry/fallback-lock management and power escalation,
+//! * [`power`] — the PowerTM-style single power-token arbiter,
+//! * [`levc`] — the idealized-timestamp logic of LEVC-BE-Idealized,
+//! * [`naive`] — the bounded-misvalidation counter of the naive
+//!   requester-speculates configuration.
+//!
+//! # Example: one forwarding decision
+//!
+//! ```
+//! use chats_core::{chats_resolve, ConflictResolution, Pic, PicContext};
+//!
+//! // Two unconnected transactions conflict (Fig. 3A): forward.
+//! let local = PicContext { pic: Pic::unset(), cons: false };
+//! match chats_resolve(local, Pic::unset()) {
+//!     ConflictResolution::Forward { local_pic_after } => {
+//!         assert_eq!(local_pic_after, Pic::INIT);
+//!     }
+//!     ConflictResolution::AbortLocal => unreachable!("Fig. 3A forwards"),
+//! }
+//! ```
+
+pub mod abort;
+pub mod decision;
+pub mod levc;
+pub mod naive;
+pub mod pic;
+pub mod policy;
+pub mod power;
+pub mod retry;
+pub mod vsb;
+
+pub use abort::AbortCause;
+pub use decision::{
+    chats_receive_spec, chats_resolve, chats_resolve_bounded, validation_pic_check,
+    ConflictResolution, SpecRespAction,
+};
+pub use levc::{LevcArbiter, LevcDecision, Timestamp, TimestampSource};
+pub use naive::NaiveValidationCounter;
+pub use pic::{Pic, PicContext};
+pub use policy::{Ablation, ForwardSet, HtmSystem, PolicyConfig};
+pub use power::PowerToken;
+pub use retry::{FallbackLock, RetryManager, RetryVerdict};
+pub use vsb::{ValidationStateBuffer, VsbEntry};

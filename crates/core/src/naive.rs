@@ -1,0 +1,112 @@
+//! The naive requester-speculates escape counter.
+//!
+//! The Naive R-S configuration (§VI-B) always forwards, with no cycle
+//! avoidance. To escape the deadlocks that cyclic dependencies would cause,
+//! each core carries a small saturating counter that is decremented on
+//! every *unsuccessful* validation attempt (one that comes back still
+//! speculative) and reset on a successful validation. Reaching zero aborts
+//! the transaction. The paper uses a 4-bit counter: 16 attempts.
+
+/// Bounded-misvalidation counter for one core.
+///
+/// # Example
+///
+/// ```
+/// use chats_core::NaiveValidationCounter;
+/// let mut c = NaiveValidationCounter::new(2); // 2 bits: budget of 4
+/// assert!(!c.on_unsuccessful_validation());
+/// assert!(!c.on_unsuccessful_validation());
+/// assert!(!c.on_unsuccessful_validation());
+/// assert!(c.on_unsuccessful_validation(), "budget exhausted: abort");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaiveValidationCounter {
+    budget: u32,
+    remaining: u32,
+}
+
+impl NaiveValidationCounter {
+    /// A counter with `bits` bits, i.e. a budget of `2^bits` unsuccessful
+    /// validations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or larger than 16.
+    #[must_use]
+    pub fn new(bits: u32) -> NaiveValidationCounter {
+        assert!((1..=16).contains(&bits), "counter bits out of range: {bits}");
+        let budget = 1u32 << bits;
+        NaiveValidationCounter {
+            budget,
+            remaining: budget,
+        }
+    }
+
+    /// Registers an unsuccessful validation attempt. Returns `true` when
+    /// the budget is exhausted and the transaction must abort.
+    pub fn on_unsuccessful_validation(&mut self) -> bool {
+        self.remaining = self.remaining.saturating_sub(1);
+        self.remaining == 0
+    }
+
+    /// Registers a successful validation: the counter refills.
+    pub fn on_successful_validation(&mut self) {
+        self.remaining = self.budget;
+    }
+
+    /// Refills the budget (new transaction attempt).
+    pub fn reset(&mut self) {
+        self.remaining = self.budget;
+    }
+
+    /// Attempts left before a forced abort.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bits_allow_sixteen_attempts() {
+        let mut c = NaiveValidationCounter::new(4);
+        for i in 0..15 {
+            assert!(!c.on_unsuccessful_validation(), "attempt {i} must not abort");
+        }
+        assert!(c.on_unsuccessful_validation());
+    }
+
+    #[test]
+    fn success_refills() {
+        let mut c = NaiveValidationCounter::new(2);
+        c.on_unsuccessful_validation();
+        c.on_unsuccessful_validation();
+        c.on_successful_validation();
+        assert_eq!(c.remaining(), 4);
+    }
+
+    #[test]
+    fn reset_refills() {
+        let mut c = NaiveValidationCounter::new(2);
+        while !c.on_unsuccessful_validation() {}
+        c.reset();
+        assert_eq!(c.remaining(), 4);
+    }
+
+    #[test]
+    fn exhausted_counter_stays_exhausted() {
+        let mut c = NaiveValidationCounter::new(1);
+        assert!(!c.on_unsuccessful_validation());
+        assert!(c.on_unsuccessful_validation());
+        assert!(c.on_unsuccessful_validation(), "saturates at zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bits_panics() {
+        let _ = NaiveValidationCounter::new(0);
+    }
+}

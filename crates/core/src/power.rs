@@ -1,0 +1,134 @@
+//! The PowerTM-style power token.
+//!
+//! At most one transaction in the system holds elevated priority at a
+//! time (§VI-B "Power transactions"). Conflicts involving a power
+//! transaction are always resolved in its favour; power transactions may
+//! nack requesters without invalidating their own data. In PCHATS, power
+//! transactions are exclusively *producers* of speculative data and sit at
+//! the top of every chain without needing a PiC.
+
+/// The global single power token.
+///
+/// # Example
+///
+/// ```
+/// use chats_core::PowerToken;
+/// let mut t = PowerToken::new();
+/// assert!(t.try_acquire(0));
+/// assert!(!t.try_acquire(1), "only one power transaction at a time");
+/// t.release(0);
+/// assert!(t.try_acquire(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerToken {
+    holder: Option<usize>,
+    grants: u64,
+    denials: u64,
+}
+
+impl PowerToken {
+    /// An unheld token.
+    #[must_use]
+    pub fn new() -> PowerToken {
+        PowerToken::default()
+    }
+
+    /// Attempts to grant elevated priority to `core`. Idempotent for the
+    /// current holder.
+    pub fn try_acquire(&mut self, core: usize) -> bool {
+        match self.holder {
+            None => {
+                self.holder = Some(core);
+                self.grants += 1;
+                true
+            }
+            Some(h) if h == core => true,
+            Some(_) => {
+                self.denials += 1;
+                false
+            }
+        }
+    }
+
+    /// Drops elevated priority (commit or abort of the power transaction).
+    /// Releasing without holding is a no-op for other cores' safety.
+    pub fn release(&mut self, core: usize) {
+        if self.holder == Some(core) {
+            self.holder = None;
+        }
+    }
+
+    /// Core currently running with elevated priority.
+    #[must_use]
+    pub fn holder(&self) -> Option<usize> {
+        self.holder
+    }
+
+    /// `true` if `core` is the power transaction.
+    #[must_use]
+    pub fn is_power(&self, core: usize) -> bool {
+        self.holder == Some(core)
+    }
+
+    /// Total successful grants (a pressure metric).
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total denied requests (a contention metric).
+    #[must_use]
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_grant() {
+        let mut t = PowerToken::new();
+        assert!(t.try_acquire(5));
+        assert!(t.is_power(5));
+        assert!(!t.is_power(6));
+        assert!(!t.try_acquire(6));
+        assert_eq!(t.holder(), Some(5));
+    }
+
+    #[test]
+    fn reacquire_is_idempotent() {
+        let mut t = PowerToken::new();
+        assert!(t.try_acquire(1));
+        assert!(t.try_acquire(1));
+        assert_eq!(t.grants(), 1);
+    }
+
+    #[test]
+    fn release_then_regrant() {
+        let mut t = PowerToken::new();
+        t.try_acquire(1);
+        t.release(1);
+        assert_eq!(t.holder(), None);
+        assert!(t.try_acquire(2));
+    }
+
+    #[test]
+    fn foreign_release_is_ignored() {
+        let mut t = PowerToken::new();
+        t.try_acquire(1);
+        t.release(2);
+        assert!(t.is_power(1));
+    }
+
+    #[test]
+    fn counters_track_pressure() {
+        let mut t = PowerToken::new();
+        t.try_acquire(0);
+        t.try_acquire(1);
+        t.try_acquire(2);
+        assert_eq!(t.grants(), 1);
+        assert_eq!(t.denials(), 2);
+    }
+}

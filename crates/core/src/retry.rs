@@ -1,0 +1,232 @@
+//! Retry, fallback and power-escalation management.
+//!
+//! Best-effort HTM offers no progress guarantee, so every configuration
+//! retries a bounded number of times and then takes a software fallback
+//! path (§V-C): a global lock (with eager subscription) or, for power-based
+//! systems, the power token.
+
+use crate::abort::AbortCause;
+
+/// What a transaction should do after an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryVerdict {
+    /// Re-execute speculatively (after backoff).
+    Retry,
+    /// Request elevated priority (power token) before re-executing
+    /// speculatively; if the token is busy, keep retrying normally.
+    RequestPower,
+    /// Give up on speculation: take the fallback lock.
+    Fallback,
+}
+
+/// Tracks abort counts for one transaction attempt sequence and applies the
+/// Table II retry thresholds.
+///
+/// # Example
+///
+/// ```
+/// use chats_core::{AbortCause, RetryManager, RetryVerdict};
+///
+/// let mut rm = RetryManager::new(2, None);
+/// assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Retry);
+/// assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Retry);
+/// // Third abort exceeds 2 retries: fall back.
+/// assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Fallback);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetryManager {
+    max_retries: u32,
+    power_threshold: Option<u32>,
+    attempts: u32,
+    conflict_aborts: u32,
+}
+
+impl RetryManager {
+    /// `max_retries` speculative re-executions are allowed before the
+    /// fallback path; `power_threshold`, when `Some(n)`, requests the power
+    /// token after the `n`-th conflict-induced abort (PowerTM behaviour:
+    /// "software triggers an elevated priority status after the second
+    /// conflict-induced abort").
+    #[must_use]
+    pub fn new(max_retries: u32, power_threshold: Option<u32>) -> RetryManager {
+        RetryManager {
+            max_retries,
+            power_threshold,
+            attempts: 0,
+            conflict_aborts: 0,
+        }
+    }
+
+    /// Registers an abort of the current attempt and decides what to do
+    /// next.
+    pub fn on_abort(&mut self, cause: AbortCause) -> RetryVerdict {
+        self.attempts += 1;
+        if cause == AbortCause::Conflict || cause == AbortCause::ValidationMismatch {
+            self.conflict_aborts += 1;
+        }
+        if self.attempts > self.max_retries {
+            return RetryVerdict::Fallback;
+        }
+        if let Some(t) = self.power_threshold {
+            if self.conflict_aborts >= t {
+                return RetryVerdict::RequestPower;
+            }
+        }
+        RetryVerdict::Retry
+    }
+
+    /// Number of aborted attempts so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Resets for the next transaction (after a commit or a completed
+    /// fallback execution).
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+        self.conflict_aborts = 0;
+    }
+}
+
+/// The single global fallback lock with eager subscription.
+///
+/// Transactions read the lock word at `tx_begin` (adding it to their read
+/// set), so a non-speculative acquisition by a falling-back thread aborts
+/// every running transaction through plain coherence. This type models the
+/// lock itself; the read-set subscription is the machine's job.
+#[derive(Debug, Clone, Default)]
+pub struct FallbackLock {
+    holder: Option<usize>,
+    waiters: u64,
+}
+
+impl FallbackLock {
+    /// An unheld lock.
+    #[must_use]
+    pub fn new() -> FallbackLock {
+        FallbackLock::default()
+    }
+
+    /// Attempts to acquire for `core`. Returns `true` on success.
+    pub fn try_acquire(&mut self, core: usize) -> bool {
+        if self.holder.is_none() {
+            self.holder = Some(core);
+            true
+        } else {
+            self.waiters += 1;
+            false
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not the holder — a serialization bug in the
+    /// caller.
+    pub fn release(&mut self, core: usize) {
+        assert_eq!(self.holder, Some(core), "release by non-holder");
+        self.holder = None;
+    }
+
+    /// Current holder, if any.
+    #[must_use]
+    pub fn holder(&self) -> Option<usize> {
+        self.holder
+    }
+
+    /// `true` while some thread executes the fallback path.
+    #[must_use]
+    pub fn is_held(&self) -> bool {
+        self.holder.is_some()
+    }
+
+    /// Failed acquisition attempts, a contention metric.
+    #[must_use]
+    pub fn contended_acquires(&self) -> u64 {
+        self.waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_then_fallback() {
+        let mut rm = RetryManager::new(3, None);
+        for _ in 0..3 {
+            assert_eq!(rm.on_abort(AbortCause::Capacity), RetryVerdict::Retry);
+        }
+        assert_eq!(rm.on_abort(AbortCause::Capacity), RetryVerdict::Fallback);
+    }
+
+    #[test]
+    fn zero_retries_falls_back_immediately() {
+        let mut rm = RetryManager::new(0, None);
+        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Fallback);
+    }
+
+    #[test]
+    fn power_requested_after_second_conflict_abort() {
+        let mut rm = RetryManager::new(10, Some(2));
+        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Retry);
+        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::RequestPower);
+    }
+
+    #[test]
+    fn non_conflict_aborts_do_not_escalate() {
+        let mut rm = RetryManager::new(10, Some(2));
+        for _ in 0..5 {
+            assert_eq!(rm.on_abort(AbortCause::Capacity), RetryVerdict::Retry);
+        }
+    }
+
+    #[test]
+    fn validation_mismatch_counts_as_conflict_for_escalation() {
+        let mut rm = RetryManager::new(10, Some(2));
+        rm.on_abort(AbortCause::ValidationMismatch);
+        assert_eq!(
+            rm.on_abort(AbortCause::ValidationMismatch),
+            RetryVerdict::RequestPower
+        );
+    }
+
+    #[test]
+    fn fallback_beats_power() {
+        let mut rm = RetryManager::new(1, Some(1));
+        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::RequestPower);
+        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Fallback);
+    }
+
+    #[test]
+    fn reset_restores_budget() {
+        let mut rm = RetryManager::new(1, None);
+        rm.on_abort(AbortCause::Conflict);
+        rm.reset();
+        assert_eq!(rm.attempts(), 0);
+        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Retry);
+    }
+
+    #[test]
+    fn lock_acquire_release() {
+        let mut l = FallbackLock::new();
+        assert!(!l.is_held());
+        assert!(l.try_acquire(3));
+        assert!(l.is_held());
+        assert_eq!(l.holder(), Some(3));
+        assert!(!l.try_acquire(4));
+        assert_eq!(l.contended_acquires(), 1);
+        l.release(3);
+        assert!(l.try_acquire(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn foreign_release_panics() {
+        let mut l = FallbackLock::new();
+        l.try_acquire(1);
+        l.release(2);
+    }
+}

@@ -1,0 +1,232 @@
+//! The Validation State Buffer (VSB).
+//!
+//! A small fully-associative buffer (4 entries in the paper's sweet-spot
+//! configuration) that keeps a *pristine* copy of every speculatively
+//! received cache line until it has been validated (§IV-B). A transaction
+//! cannot commit while the VSB is non-empty; its contents are discarded on
+//! abort.
+//!
+//! The buffer has two pointers — next free entry and next entry to
+//! validate — and a round-robin validation order, modelled here as a ring.
+
+use chats_mem::{Line, LineAddr};
+
+/// One VSB entry: the address and the original speculative data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VsbEntry {
+    /// Line this entry guards.
+    pub addr: LineAddr,
+    /// The value consumed when the `SpecResp` arrived; compared against
+    /// every validation response.
+    pub data: Line,
+}
+
+/// The Validation State Buffer.
+///
+/// # Example
+///
+/// ```
+/// use chats_core::ValidationStateBuffer;
+/// use chats_mem::{Line, LineAddr};
+///
+/// let mut vsb = ValidationStateBuffer::new(4);
+/// assert!(vsb.insert(LineAddr(3), Line::splat(7)));
+/// assert_eq!(vsb.len(), 1);
+/// let next = vsb.next_to_validate().unwrap();
+/// assert_eq!(next.addr, LineAddr(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValidationStateBuffer {
+    capacity: usize,
+    entries: Vec<VsbEntry>,
+    validate_cursor: usize,
+}
+
+impl ValidationStateBuffer {
+    /// Creates a buffer with room for `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> ValidationStateBuffer {
+        assert!(capacity > 0, "the VSB needs at least one entry");
+        ValidationStateBuffer {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            validate_cursor: 0,
+        }
+    }
+
+    /// Buffer capacity in lines: the maximum number of blocks a transaction
+    /// can hold speculatively at once.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records a speculatively received line. Returns `false` when the
+    /// buffer is full (the conflict must then be resolved without
+    /// forwarding) or the line is already present (a second `SpecResp` for
+    /// the same line replaces nothing — the original copy is what future
+    /// validations must match).
+    pub fn insert(&mut self, addr: LineAddr, data: Line) -> bool {
+        if self.entries.len() >= self.capacity || self.contains(addr) {
+            return false;
+        }
+        self.entries.push(VsbEntry { addr, data });
+        true
+    }
+
+    /// `true` if `addr` is being tracked.
+    #[must_use]
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.addr == addr)
+    }
+
+    /// Pristine copy stored for `addr`, if tracked.
+    #[must_use]
+    pub fn get(&self, addr: LineAddr) -> Option<&VsbEntry> {
+        self.entries.iter().find(|e| e.addr == addr)
+    }
+
+    /// The entry the validation timer should probe next (round robin), or
+    /// `None` when the buffer is empty.
+    #[must_use]
+    pub fn next_to_validate(&self) -> Option<&VsbEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        Some(&self.entries[self.validate_cursor % self.entries.len()])
+    }
+
+    /// Advances the validation cursor past the entry just probed.
+    pub fn advance_cursor(&mut self) {
+        if !self.entries.is_empty() {
+            self.validate_cursor = (self.validate_cursor + 1) % self.entries.len();
+        }
+    }
+
+    /// Removes `addr` after a successful validation. Returns `true` if it
+    /// was present.
+    pub fn remove(&mut self, addr: LineAddr) -> bool {
+        match self.entries.iter().position(|e| e.addr == addr) {
+            Some(idx) => {
+                self.entries.remove(idx);
+                if self.entries.is_empty() {
+                    self.validate_cursor = 0;
+                } else {
+                    self.validate_cursor %= self.entries.len();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Discards everything (transaction abort).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.validate_cursor = 0;
+    }
+
+    /// Number of unvalidated lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when every speculative consumption has been validated —
+    /// the commit precondition.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the tracked entries (validation order starts at the
+    /// cursor).
+    pub fn iter(&self) -> impl Iterator<Item = &VsbEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vsb() -> ValidationStateBuffer {
+        ValidationStateBuffer::new(4)
+    }
+
+    #[test]
+    fn insert_until_full() {
+        let mut v = vsb();
+        for i in 0..4 {
+            assert!(v.insert(LineAddr(i), Line::splat(i)));
+        }
+        assert!(!v.insert(LineAddr(9), Line::zeroed()), "buffer full");
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut v = vsb();
+        assert!(v.insert(LineAddr(1), Line::splat(1)));
+        assert!(!v.insert(LineAddr(1), Line::splat(2)));
+        assert_eq!(v.get(LineAddr(1)).unwrap().data, Line::splat(1));
+    }
+
+    #[test]
+    fn round_robin_validation_order() {
+        let mut v = vsb();
+        v.insert(LineAddr(10), Line::zeroed());
+        v.insert(LineAddr(20), Line::zeroed());
+        v.insert(LineAddr(30), Line::zeroed());
+        assert_eq!(v.next_to_validate().unwrap().addr, LineAddr(10));
+        v.advance_cursor();
+        assert_eq!(v.next_to_validate().unwrap().addr, LineAddr(20));
+        v.advance_cursor();
+        assert_eq!(v.next_to_validate().unwrap().addr, LineAddr(30));
+        v.advance_cursor();
+        assert_eq!(v.next_to_validate().unwrap().addr, LineAddr(10));
+    }
+
+    #[test]
+    fn remove_keeps_cursor_valid() {
+        let mut v = vsb();
+        v.insert(LineAddr(1), Line::zeroed());
+        v.insert(LineAddr(2), Line::zeroed());
+        v.advance_cursor(); // cursor at index 1 (addr 2)
+        assert!(v.remove(LineAddr(2)));
+        // Cursor must wrap back onto the single remaining entry.
+        assert_eq!(v.next_to_validate().unwrap().addr, LineAddr(1));
+        assert!(v.remove(LineAddr(1)));
+        assert!(v.next_to_validate().is_none());
+        assert!(!v.remove(LineAddr(1)), "double remove");
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut v = vsb();
+        v.insert(LineAddr(1), Line::zeroed());
+        v.insert(LineAddr(2), Line::zeroed());
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.next_to_validate().is_none());
+    }
+
+    #[test]
+    fn commit_precondition_is_emptiness() {
+        let mut v = vsb();
+        assert!(v.is_empty());
+        v.insert(LineAddr(7), Line::zeroed());
+        assert!(!v.is_empty());
+        v.remove(LineAddr(7));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        ValidationStateBuffer::new(0);
+    }
+}

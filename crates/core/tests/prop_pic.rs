@@ -1,0 +1,229 @@
+//! Property tests for the CHATS chaining rules.
+//!
+//! The central claim of the paper (§III-B): the PiC rules never accept a
+//! forwarding that creates a cyclic producer-consumer dependency, for *any*
+//! history of conflicts, commits and aborts. We simulate random histories
+//! over a pool of abstract transactions, apply only the pure decision
+//! functions, maintain the explicit dependency graph the hardware never
+//! materializes — and assert it stays acyclic, with commit order always
+//! compatible with the dependencies.
+
+use chats_core::{
+    chats_receive_spec, chats_resolve, ConflictResolution, PicContext, SpecRespAction,
+};
+use proptest::prelude::*;
+
+const TXS: usize = 8;
+
+/// One abstract in-flight transaction.
+#[derive(Debug, Clone, Default)]
+struct Tx {
+    ctx: PicContext,
+    /// Producers this transaction consumed from (still uncommitted).
+    producers: Vec<usize>,
+    /// Lifetime generation, bumped on commit/abort (dead edges are
+    /// detected by generation mismatch).
+    gen: u64,
+}
+
+#[derive(Debug, Clone)]
+struct World {
+    txs: Vec<Tx>,
+    /// Directed edges consumer -> producer with the generation of each
+    /// endpoint at creation.
+    edges: Vec<(usize, u64, usize, u64)>,
+}
+
+impl World {
+    fn new() -> World {
+        World {
+            txs: (0..TXS).map(|_| Tx::default()).collect(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn live_edges(&self) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .filter(|(c, cg, p, pg)| self.txs[*c].gen == *cg && self.txs[*p].gen == *pg)
+            .map(|(c, _, p, _)| (*c, *p))
+            .collect()
+    }
+
+    fn is_acyclic(&self) -> bool {
+        // DFS over live consumer->producer edges.
+        let edges = self.live_edges();
+        let mut color = [0u8; TXS]; // 0 white, 1 grey, 2 black
+        fn dfs(n: usize, edges: &[(usize, usize)], color: &mut [u8; TXS]) -> bool {
+            color[n] = 1;
+            for &(c, p) in edges {
+                if c == n {
+                    if color[p] == 1 {
+                        return false;
+                    }
+                    if color[p] == 0 && !dfs(p, edges, color) {
+                        return false;
+                    }
+                }
+            }
+            color[n] = 2;
+            true
+        }
+        for n in 0..TXS {
+            if color[n] == 0 && !dfs(n, &edges, &mut color) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A conflict: `req` requests a block owned by `owner`.
+    fn conflict(&mut self, owner: usize, req: usize) {
+        if owner == req {
+            return;
+        }
+        let remote_pic = self.txs[req].ctx.pic;
+        match chats_resolve(self.txs[owner].ctx, remote_pic) {
+            ConflictResolution::Forward { local_pic_after } => {
+                // The producer adopts its new PiC before responding.
+                self.txs[owner].ctx.pic = local_pic_after;
+                match chats_receive_spec(self.txs[req].ctx, local_pic_after) {
+                    SpecRespAction::Accept { new_pic } => {
+                        self.txs[req].ctx.pic = new_pic;
+                        self.txs[req].ctx.cons = true;
+                        self.txs[req].producers.push(owner);
+                        self.edges.push((
+                            req,
+                            self.txs[req].gen,
+                            owner,
+                            self.txs[owner].gen,
+                        ));
+                    }
+                    SpecRespAction::AbortSelf => self.abort(req),
+                }
+            }
+            ConflictResolution::AbortLocal => self.abort(owner),
+        }
+    }
+
+    /// Commit: only legal when every consumed value has been validated,
+    /// i.e. all producers have committed (their generation moved on).
+    fn try_commit(&mut self, i: usize) -> bool {
+        let producers_alive = {
+            let tx = &self.txs[i];
+            self.edges.iter().any(|(c, cg, p, pg)| {
+                *c == i && *cg == tx.gen && self.txs[*p].gen == *pg
+            })
+        };
+        if producers_alive {
+            return false; // validation cannot complete yet
+        }
+        // All producers committed: Cons clears, then commit resets the PiC.
+        self.txs[i] = Tx {
+            gen: self.txs[i].gen + 1,
+            ..Tx::default()
+        };
+        true
+    }
+
+    /// Abort: reset state; consumers of this transaction are doomed to
+    /// misvalidate, which the hardware delivers as cascading aborts.
+    fn abort(&mut self, i: usize) {
+        let doomed: Vec<usize> = self
+            .live_edges()
+            .iter()
+            .filter(|(_, p)| *p == i)
+            .map(|(c, _)| *c)
+            .collect();
+        self.txs[i] = Tx {
+            gen: self.txs[i].gen + 1,
+            ..Tx::default()
+        };
+        for c in doomed {
+            self.abort(c);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Conflict(usize, usize),
+    Commit(usize),
+    Abort(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..TXS, 0..TXS).prop_map(|(a, b)| Op::Conflict(a, b)),
+        2 => (0..TXS).prop_map(Op::Commit),
+        1 => (0..TXS).prop_map(Op::Abort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No history of conflicts/commits/aborts ever creates an accepted
+    /// dependency cycle.
+    #[test]
+    fn dependency_graph_stays_acyclic(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut w = World::new();
+        for op in ops {
+            match op {
+                Op::Conflict(a, b) => w.conflict(a, b),
+                Op::Commit(i) => { let _ = w.try_commit(i); }
+                Op::Abort(i) => w.abort(i),
+            }
+            prop_assert!(w.is_acyclic(), "cycle accepted: {:?}", w.live_edges());
+        }
+    }
+
+    /// Every live dependency edge has the producer's PiC strictly above the
+    /// consumer's — the ordering invariant validation relies on.
+    #[test]
+    fn producers_stay_above_consumers(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut w = World::new();
+        for op in ops {
+            if let Op::Conflict(a, b) = op {
+                w.conflict(a, b);
+            }
+            for (c, p) in w.live_edges() {
+                let (cp, pp) = (w.txs[c].ctx.pic, w.txs[p].ctx.pic);
+                prop_assert!(cp.is_set() && pp.is_set());
+                prop_assert!(
+                    cp.value() < pp.value(),
+                    "edge {c}->{p}: consumer {cp:?} !< producer {pp:?}"
+                );
+            }
+        }
+    }
+
+    /// Progress: in any quiescent state (no more conflicts), repeatedly
+    /// committing ready transactions drains the whole pool — i.e. chains
+    /// can always be unwound in dependency order.
+    #[test]
+    fn chains_always_unwind(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut w = World::new();
+        for op in ops {
+            match op {
+                Op::Conflict(a, b) => w.conflict(a, b),
+                Op::Commit(i) => { let _ = w.try_commit(i); }
+                Op::Abort(i) => w.abort(i),
+            }
+        }
+        // Drain: every pass must commit at least one transaction with
+        // live dependencies remaining, else there is a cycle/deadlock.
+        loop {
+            if w.live_edges().is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for i in 0..TXS {
+                if w.try_commit(i) {
+                    progressed = true;
+                }
+            }
+            prop_assert!(progressed, "chain cannot unwind: {:?}", w.live_edges());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Producer-side conflict policy dispatch: given a conflicting request at
+//! an owner, choose forward / abort / nack per the active HTM system.
+
+use crate::machine::Machine;
+use crate::msg::Request;
+use chats_core::{chats_resolve_bounded, ConflictResolution, HtmSystem, LevcDecision, Pic};
+
+/// What the owner does about a conflicting request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OwnerAction {
+    /// Send a `SpecResp` carrying this PiC (`None` for systems or
+    /// producers without one).
+    Forward(Option<Pic>),
+    /// Requester-wins: the owner transaction aborts.
+    AbortSelf,
+    /// Negative acknowledgement: the requester stalls and retries.
+    Nack,
+}
+
+impl Machine {
+    /// Resolves a conflict at `core` (the owner) for request `req`.
+    ///
+    /// `in_ws`: the conflicting line is in the owner's write set;
+    /// `has_copy`: the owner still holds the line in L1 (forwarding needs
+    /// the data).
+    pub(crate) fn decide_conflict(
+        &mut self,
+        core: usize,
+        req: &Request,
+        in_ws: bool,
+        has_copy: bool,
+    ) -> OwnerAction {
+        // Conflicting non-transactional requests always win (§IV-A).
+        if req.non_tx {
+            return OwnerAction::AbortSelf;
+        }
+        match self.policy.system {
+            HtmSystem::Baseline => OwnerAction::AbortSelf,
+            HtmSystem::Power => {
+                if req.power {
+                    OwnerAction::AbortSelf
+                } else if self.cores[core].is_power {
+                    OwnerAction::Nack
+                } else {
+                    OwnerAction::AbortSelf
+                }
+            }
+            HtmSystem::NaiveRs => {
+                if self.forwarding_allowed(core, req, in_ws, has_copy) {
+                    OwnerAction::Forward(None)
+                } else {
+                    OwnerAction::AbortSelf
+                }
+            }
+            HtmSystem::Chats => self.decide_chats(core, req, in_ws, has_copy),
+            HtmSystem::Pchats => {
+                if req.power {
+                    // Power transactions never consume: they win outright.
+                    OwnerAction::AbortSelf
+                } else if self.cores[core].is_power {
+                    // Power transactions are pure producers at the top of
+                    // every chain; consumers keep their PiC (§VI-B).
+                    if self.forwarding_allowed(core, req, in_ws, has_copy) {
+                        OwnerAction::Forward(None)
+                    } else {
+                        OwnerAction::Nack
+                    }
+                } else {
+                    self.decide_chats(core, req, in_ws, has_copy)
+                }
+            }
+            HtmSystem::LevcBeIdealized => {
+                let ts = req.levc_ts.expect("LEVC request without timestamp");
+                match self.cores[core].levc.resolve(ts, req.levc_consumed) {
+                    LevcDecision::Forward => {
+                        if self.forwarding_allowed(core, req, in_ws, has_copy) {
+                            self.cores[core].levc.note_forwarded();
+                            OwnerAction::Forward(None)
+                        } else {
+                            OwnerAction::Nack // fall back to requester-stall
+                        }
+                    }
+                    LevcDecision::Stall => OwnerAction::Nack,
+                    LevcDecision::AbortLocal => OwnerAction::AbortSelf,
+                }
+            }
+        }
+    }
+
+    fn decide_chats(&mut self, core: usize, req: &Request, in_ws: bool, has_copy: bool) -> OwnerAction {
+        if !self.forwarding_allowed(core, req, in_ws, has_copy) {
+            return OwnerAction::AbortSelf;
+        }
+        let ablation = self.policy.ablation;
+        // Ablation: prior-work-style single-link chains — a transaction
+        // already in a chain never forwards again.
+        if ablation.single_link_chains && self.cores[core].pic.pic.is_set() {
+            return OwnerAction::AbortSelf;
+        }
+        match chats_resolve_bounded(self.cores[core].pic, req.pic, self.policy.pic_range()) {
+            ConflictResolution::Forward { local_pic_after } => {
+                // Ablation: forbid the Fig. 3F overtake — forwarding that
+                // would *raise* an already-set PiC resolves requester-wins.
+                if ablation.no_pic_overtake {
+                    let before = self.cores[core].pic.pic;
+                    if before.is_set() && local_pic_after != before {
+                        return OwnerAction::AbortSelf;
+                    }
+                }
+                // The producer adopts its post-forwarding PiC before
+                // responding (Fig. 3).
+                self.cores[core].pic.pic = local_pic_after;
+                OwnerAction::Forward(Some(local_pic_after))
+            }
+            ConflictResolution::AbortLocal => OwnerAction::AbortSelf,
+        }
+    }
+
+    /// Is this block eligible for speculative forwarding (§VI-D)?
+    fn forwarding_allowed(&self, core: usize, req: &Request, in_ws: bool, has_copy: bool) -> bool {
+        if !has_copy {
+            return false; // nothing to forward
+        }
+        if in_ws {
+            return true; // write-set blocks forward under every ForwardSet
+        }
+        // Read-set conflict.
+        if !self.policy.forward_set.forwards_read_set() {
+            return false;
+        }
+        if self.policy.forward_set.restricts_inflight_writes() {
+            // Rrestrict/W heuristic: skip blocks this transaction is
+            // predicted to overwrite shortly (trained on prior attempts).
+            if self.cores[core]
+                .predicted_writes()
+                .is_some_and(|s| s.contains(&req.line))
+            {
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-core simulation state: L1, HTM engine registers, VM bookkeeping.
+
+use chats_core::{
+    LevcArbiter, NaiveValidationCounter, PicContext, RetryManager, Timestamp,
+    ValidationStateBuffer,
+};
+use chats_mem::{Addr, Cache, LineAddr, ReadSignature};
+use chats_tvm::{Vm, VmSnapshot};
+
+use crate::oracle::Oracle;
+use std::collections::{HashMap, HashSet};
+
+/// Execution mode of a core's current thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Outside any transaction.
+    Plain,
+    /// Inside a speculative (HTM) transaction attempt.
+    Tx,
+    /// Executing the transaction body non-speculatively while holding the
+    /// global fallback lock.
+    Fallback,
+}
+
+/// Why a core is parked, if it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// Not waiting.
+    None,
+    /// Waiting for the fallback lock to be released so a speculative
+    /// attempt can start (eager subscription).
+    LockToStart,
+    /// Waiting to *acquire* the fallback lock (fallback verdict).
+    LockToAcquire,
+    /// Waiting for the power token (power-system fallback path).
+    PowerToken,
+}
+
+/// An outstanding demand memory operation.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingMem {
+    /// Full word address.
+    pub addr: Addr,
+    /// Containing line.
+    pub line: LineAddr,
+    /// Exclusive request.
+    pub getx: bool,
+    /// The paused VM instruction is a store.
+    pub is_store: bool,
+    /// Value to store once permissions (or a speculative copy) arrive.
+    pub store_value: u64,
+}
+
+/// All state of one simulated core.
+#[derive(Debug)]
+pub struct CoreState {
+    /// The thread's interpreter (absent on unloaded cores).
+    pub vm: Option<Vm>,
+    /// The thread reached `Halt`.
+    pub halted: bool,
+    /// Monotonic attempt counter; events and responses carry it, so
+    /// anything issued before an abort is ignored afterwards.
+    pub epoch: u64,
+    /// Current execution mode.
+    pub mode: ExecMode,
+    /// Rollback point captured at `TxBegin`.
+    pub snapshot: Option<VmSnapshot>,
+    /// Static id of the transaction being executed (the `TxBegin` pc),
+    /// used by the Rrestrict/W write predictor.
+    pub tx_site: usize,
+    /// CHATS chaining context (PiC + Cons).
+    pub pic: PicContext,
+    /// Validation State Buffer.
+    pub vsb: ValidationStateBuffer,
+    /// Naive R-S misvalidation counter.
+    pub naive: NaiveValidationCounter,
+    /// LEVC timestamps / chain flags.
+    pub levc: LevcArbiter,
+    /// LEVC timestamp for the current transaction (kept across retries).
+    pub levc_ts: Option<Timestamp>,
+    /// Retry/fallback bookkeeping.
+    pub retry: RetryManager,
+    /// Private L1 data cache.
+    pub l1: Cache,
+    /// Perfect read signature.
+    pub read_sig: ReadSignature,
+    /// Outstanding demand miss.
+    pub pending_mem: Option<PendingMem>,
+    /// Outstanding validation request (line being validated).
+    pub val_req: Option<LineAddr>,
+    /// A validation timer event is scheduled.
+    pub val_timer_armed: bool,
+    /// `TxEnd` reached but the VSB is not yet empty.
+    pub commit_pending: bool,
+    /// Park reason.
+    pub waiting: WaitReason,
+    /// The core is parked between attempts and a `RetryTx` is expected;
+    /// duplicate wakeups are ignored unless this is set.
+    pub awaiting_retry: bool,
+    /// This attempt sent at least one `SpecResp` (Fig. 6).
+    pub attempt_forwarded: bool,
+    /// This attempt was involved in at least one conflict (Fig. 6).
+    pub attempt_conflicted: bool,
+    /// Holding the power token.
+    pub is_power: bool,
+    /// Rrestrict/W heuristic: per static transaction, lines written by
+    /// earlier attempts (predicted "in-flight writes").
+    pub write_predictor: HashMap<usize, HashSet<LineAddr>>,
+    /// Atomicity oracle (enabled via `Tuning::check_atomicity`).
+    pub(crate) oracle: Oracle,
+}
+
+impl CoreState {
+    /// Fresh core state with the given cache geometry and policy knobs.
+    pub fn new(
+        l1_sets: usize,
+        l1_ways: usize,
+        vsb_size: usize,
+        naive_bits: u32,
+        max_retries: u32,
+        power_threshold: Option<u32>,
+    ) -> CoreState {
+        CoreState {
+            vm: None,
+            halted: true, // unloaded cores count as done
+            epoch: 0,
+            mode: ExecMode::Plain,
+            snapshot: None,
+            tx_site: 0,
+            pic: PicContext::new(),
+            vsb: ValidationStateBuffer::new(vsb_size),
+            naive: NaiveValidationCounter::new(naive_bits),
+            levc: LevcArbiter::default(),
+            levc_ts: None,
+            retry: RetryManager::new(max_retries, power_threshold),
+            l1: Cache::new(l1_sets, l1_ways),
+            read_sig: ReadSignature::new(),
+            pending_mem: None,
+            val_req: None,
+            val_timer_armed: false,
+            commit_pending: false,
+            waiting: WaitReason::None,
+            awaiting_retry: false,
+            attempt_forwarded: false,
+            attempt_conflicted: false,
+            is_power: false,
+            write_predictor: HashMap::new(),
+            oracle: Oracle::default(),
+        }
+    }
+
+    /// `true` while a speculative transaction attempt is active.
+    pub fn in_tx(&self) -> bool {
+        self.mode == ExecMode::Tx
+    }
+
+    /// Lines predicted to be written soon by the current static
+    /// transaction (Rrestrict/W heuristic).
+    pub fn predicted_writes(&self) -> Option<&HashSet<LineAddr>> {
+        self.write_predictor.get(&self.tx_site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> CoreState {
+        CoreState::new(8, 2, 4, 4, 6, None)
+    }
+
+    #[test]
+    fn fresh_core_is_idle() {
+        let c = core();
+        assert!(c.halted);
+        assert!(!c.in_tx());
+        assert_eq!(c.waiting, WaitReason::None);
+        assert!(c.vsb.is_empty());
+    }
+
+    #[test]
+    fn predictor_is_per_site() {
+        let mut c = core();
+        c.write_predictor
+            .entry(10)
+            .or_default()
+            .insert(LineAddr(5));
+        c.tx_site = 10;
+        assert!(c.predicted_writes().unwrap().contains(&LineAddr(5)));
+        c.tx_site = 20;
+        assert!(c.predicted_writes().is_none());
+    }
+}

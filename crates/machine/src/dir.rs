@@ -1,0 +1,129 @@
+//! The blocking full-map MESI directory.
+//!
+//! One request is in flight per line at a time; requests arriving for a
+//! busy line queue and are replayed when the line unblocks. This avoids
+//! transient protocol states while preserving the conflict and forwarding
+//! behaviour CHATS depends on (see DESIGN.md §6, decision 4).
+
+use crate::msg::Request;
+use chats_mem::{BackingStore, Line, LineAddr};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Stable directory state of one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No private copies.
+    Uncached,
+    /// Read-only copies at the listed cores.
+    Shared(Vec<usize>),
+    /// Exclusively owned (E or M) by one core.
+    Owned(usize),
+}
+
+/// Per-line directory bookkeeping.
+#[derive(Debug)]
+pub struct DirLine {
+    /// Coherence state.
+    pub state: DirState,
+    /// A request is being serviced for this line.
+    pub busy: bool,
+    /// Requests waiting for the line to unblock.
+    pub queue: VecDeque<Request>,
+    /// Invalidation acks still expected for the in-flight request.
+    pub pending_invs: usize,
+    /// Some sharer refused to invalidate (power transaction): nack the
+    /// requester when the remaining acks arrive.
+    pub inv_refused: bool,
+    /// Sharers that acknowledged the in-flight invalidation round.
+    pub invalidated: Vec<usize>,
+}
+
+impl DirLine {
+    fn new() -> DirLine {
+        DirLine {
+            state: DirState::Uncached,
+            busy: false,
+            queue: VecDeque::new(),
+            pending_invs: 0,
+            inv_refused: false,
+            invalidated: Vec::new(),
+        }
+    }
+}
+
+/// The directory plus the inclusive backing store behind it.
+#[derive(Debug)]
+pub struct Directory {
+    lines: HashMap<LineAddr, DirLine>,
+    /// Committed value of every line (the folded L2/L3/DRAM level).
+    pub store: BackingStore,
+    /// Lines that have been accessed before (LLC-warm); cold lines pay the
+    /// memory latency.
+    warm: HashSet<LineAddr>,
+}
+
+impl Directory {
+    /// An empty directory over zeroed memory.
+    pub fn new() -> Directory {
+        Directory {
+            lines: HashMap::new(),
+            store: BackingStore::new(),
+            warm: HashSet::new(),
+        }
+    }
+
+    /// Mutable per-line entry, created on demand.
+    pub fn line_mut(&mut self, addr: LineAddr) -> &mut DirLine {
+        self.lines.entry(addr).or_insert_with(DirLine::new)
+    }
+
+    /// Immutable per-line state (Uncached if never touched).
+    pub fn state_of(&self, addr: LineAddr) -> DirState {
+        self.lines
+            .get(&addr)
+            .map(|l| l.state.clone())
+            .unwrap_or(DirState::Uncached)
+    }
+
+    /// Marks a line warm; returns `true` if it was cold (first touch ⇒
+    /// memory latency applies).
+    pub fn touch(&mut self, addr: LineAddr) -> bool {
+        self.warm.insert(addr)
+    }
+
+    /// Committed data of a line.
+    pub fn read(&self, addr: LineAddr) -> Line {
+        self.store.read_line(addr)
+    }
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_lines_are_uncached() {
+        let d = Directory::new();
+        assert_eq!(d.state_of(LineAddr(9)), DirState::Uncached);
+    }
+
+    #[test]
+    fn touch_reports_cold_once() {
+        let mut d = Directory::new();
+        assert!(d.touch(LineAddr(1)), "first touch is cold");
+        assert!(!d.touch(LineAddr(1)), "second touch is warm");
+    }
+
+    #[test]
+    fn line_mut_creates_and_persists() {
+        let mut d = Directory::new();
+        d.line_mut(LineAddr(2)).state = DirState::Owned(3);
+        assert_eq!(d.state_of(LineAddr(2)), DirState::Owned(3));
+    }
+}

@@ -1,0 +1,486 @@
+//! Core execution: VM stepping, transaction lifecycle, commit and abort.
+
+use crate::core_state::{ExecMode, PendingMem, WaitReason};
+use crate::machine::Machine;
+use crate::msg::{DirMsg, Event};
+use crate::trace::TraceEvent;
+use chats_core::{AbortCause, LevcArbiter, RetryVerdict};
+use chats_mem::{Addr, CoherenceState, EvictOutcome, LineAddr};
+use chats_noc::MsgClass;
+use chats_tvm::VmEvent;
+
+impl Machine {
+    /// Runs `core`'s VM until it blocks on memory, parks at a transaction
+    /// boundary, exhausts its compute slice, or halts.
+    pub(crate) fn core_step(&mut self, core: usize) {
+        let mut acc: u64 = 0;
+        loop {
+            if acc >= self.tuning.compute_slice_max {
+                let epoch = self.cores[core].epoch;
+                let at = self.clock + acc;
+                self.events.push(at, Event::CoreStep { core, epoch });
+                return;
+            }
+            let ev = self.cores[core].vm.as_mut().expect("no thread").step();
+            match ev {
+                VmEvent::Compute(n) => {
+                    if n > 64 {
+                        // Long pauses become their own event so other cores'
+                        // probes interleave accurately.
+                        let epoch = self.cores[core].epoch;
+                        let at = self.clock + acc + n;
+                        self.events.push(at, Event::CoreStep { core, epoch });
+                        return;
+                    }
+                    acc += n * self.cfg.core.cycles_per_op;
+                }
+                VmEvent::Halted => {
+                    self.cores[core].halted = true;
+                    self.halted += 1;
+                    return;
+                }
+                VmEvent::TxBegin => {
+                    if !self.handle_tx_begin(core) {
+                        return;
+                    }
+                }
+                VmEvent::TxEnd => {
+                    if !self.handle_tx_end(core) {
+                        return;
+                    }
+                }
+                VmEvent::Load(addr) => {
+                    if !self.access(core, addr, false, 0, &mut acc) {
+                        return;
+                    }
+                }
+                VmEvent::Store(addr, v) => {
+                    if !self.access(core, addr, true, v, &mut acc) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Services one memory access. Returns `true` if it completed locally
+    /// (the burst continues) or `false` if the core is now waiting.
+    fn access(&mut self, core: usize, addr: Addr, is_store: bool, value: u64, acc: &mut u64) -> bool {
+        let line = addr.line();
+        let hit_latency = self.cfg.mem.l1_hit_latency;
+        let in_tx = self.cores[core].in_tx();
+
+        // Fast path: service from L1 if permissions allow.
+        let mut wb: Option<(LineAddr, chats_mem::Line)> = None;
+        let mut serviced: Option<u64> = None; // loaded value (or store sentinel)
+        {
+            let c = &mut self.cores[core];
+            if let Some(e) = c.l1.lookup_mut(line) {
+                if !is_store && e.state.is_readable() {
+                    serviced = Some(e.data.read(addr));
+                } else if is_store && e.state.is_writable() {
+                    if in_tx {
+                        if !e.sm {
+                            // Lazy versioning: push the committed value down
+                            // before the first speculative write (§VI-B).
+                            if e.state == CoherenceState::Modified {
+                                wb = Some((line, e.data));
+                            }
+                            e.sm = true;
+                        }
+                    } else {
+                        e.state = CoherenceState::Modified;
+                    }
+                    e.data.write(addr, value);
+                    serviced = Some(0);
+                }
+            }
+        }
+        if let Some((l, data)) = wb {
+            // Value lands synchronously (keeps the store committed-only);
+            // the message is charged for timing/flits.
+            self.dir.store.write_line(l, data);
+            self.send_to_dir(core, MsgClass::Data, DirMsg::WbTiming, *acc);
+        }
+        if let Some(v) = serviced {
+            let c = &mut self.cores[core];
+            if in_tx {
+                if is_store {
+                    c.oracle.note_write(addr, value);
+                } else {
+                    c.read_sig.insert(line);
+                    c.oracle.note_read(addr, v);
+                }
+            }
+            *acc += hit_latency;
+            let vm = c.vm.as_mut().expect("no thread");
+            if is_store {
+                vm.complete_store();
+            } else {
+                vm.complete_load(v);
+            }
+            return true;
+        }
+
+        // Miss: one outstanding demand request.
+        let getx = is_store;
+        self.cores[core].pending_mem = Some(PendingMem {
+            addr,
+            line,
+            getx,
+            is_store,
+            store_value: value,
+        });
+        self.issue_pending_request(core, *acc);
+        false
+    }
+
+    /// Handles a `TxBegin` marker. Returns `true` to continue the burst.
+    fn handle_tx_begin(&mut self, core: usize) -> bool {
+        assert_eq!(
+            self.cores[core].mode,
+            ExecMode::Plain,
+            "nested transactions are not supported"
+        );
+        // Capture the rollback point (pc is just past TxBegin).
+        let snap = self.cores[core].vm.as_ref().expect("no thread").snapshot();
+        let site = snap.pc();
+        {
+            let c = &mut self.cores[core];
+            c.snapshot = Some(snap);
+            c.tx_site = site;
+            c.retry.reset();
+        }
+        // Eager lock subscription: while some thread runs the fallback
+        // path, speculative execution cannot start (lock-based systems).
+        if !self.policy.system.uses_power_token() && self.lock.is_held() {
+            self.cores[core].waiting = WaitReason::LockToStart;
+            self.cores[core].awaiting_retry = true;
+            return false;
+        }
+        self.begin_attempt(core);
+        true
+    }
+
+    /// Starts (or restarts) a speculative attempt; VM is positioned right
+    /// after `TxBegin`.
+    pub(crate) fn begin_attempt(&mut self, core: usize) {
+        let needs_ts = self.policy.system == chats_core::HtmSystem::LevcBeIdealized;
+        // Timestamps are issued once per transaction and kept across
+        // retries so the oldest transaction eventually wins.
+        if needs_ts && self.cores[core].levc_ts.is_none() {
+            let t = self.ts_source.issue();
+            self.cores[core].levc_ts = Some(t);
+        }
+        let c = &mut self.cores[core];
+        c.mode = ExecMode::Tx;
+        c.attempt_forwarded = false;
+        c.attempt_conflicted = false;
+        c.naive.reset();
+        if needs_ts {
+            let t = c.levc_ts.expect("LEVC timestamp set above");
+            c.levc = LevcArbiter::begin(t);
+        }
+        self.stats.tx_attempts += 1;
+        let at = self.clock;
+        self.trace.record(TraceEvent::TxBegin { at, core });
+    }
+
+    /// Handles a `TxEnd` marker. Returns `true` to continue the burst.
+    fn handle_tx_end(&mut self, core: usize) -> bool {
+        match self.cores[core].mode {
+            ExecMode::Fallback => {
+                self.lock.release(core);
+                self.cores[core].mode = ExecMode::Plain;
+                self.wake_lock_waiters();
+                true
+            }
+            ExecMode::Tx => {
+                if self.cores[core].vsb.is_empty() {
+                    self.do_commit(core);
+                    true
+                } else {
+                    self.cores[core].commit_pending = true;
+                    self.kick_validation(core);
+                    false
+                }
+            }
+            ExecMode::Plain => panic!("TxEnd outside a transaction on core {core}"),
+        }
+    }
+
+    /// Commits the running transaction (the VSB is empty by construction).
+    ///
+    /// # Panics
+    ///
+    /// With the atomicity oracle enabled, panics if any transactionally
+    /// read word does not equal the committed value at the commit instant —
+    /// a serializability bug in the protocol, never a workload condition.
+    pub(crate) fn do_commit(&mut self, core: usize) {
+        self.cores[core].l1.commit_speculative();
+        if self.cores[core].oracle.is_enabled() {
+            // Snapshot the committed values of every read word, then let
+            // the oracle compare (our own writes just became committed).
+            let committed_now: std::collections::HashMap<u64, u64> = self.cores[core]
+                .oracle
+                .read_log()
+                .map(|(a, _)| (a, self.inspect_word(Addr(a))))
+                .collect();
+            let verdict = self.cores[core]
+                .oracle
+                .check_commit(|a| committed_now[&a.0]);
+            if let Err((a, observed, committed)) = verdict {
+                panic!(
+                    "atomicity violated at commit on core {core}: word {a:#x} \
+                     was read as {observed} but the committed value is {committed}\n{}\nwatch log:\n{}",
+                    self.describe_line(Addr(a).line()),
+                    self.watch_log().join("\n")
+                );
+            }
+            self.cores[core].oracle.reset();
+        }
+        let was_power = {
+            let c = &mut self.cores[core];
+            debug_assert!(c.vsb.is_empty(), "commit with unvalidated speculative data");
+            c.read_sig.clear();
+            c.pic.reset();
+            c.levc.reset();
+            c.levc_ts = None;
+            c.naive.reset();
+            c.commit_pending = false;
+            c.mode = ExecMode::Plain;
+            c.retry.reset();
+            let p = c.is_power;
+            c.is_power = false;
+            p
+        };
+        self.stats.commits += 1;
+        self.trace.record(TraceEvent::Commit { at: self.clock, core });
+        if self.cores[core].attempt_conflicted {
+            self.stats.conflicted_outcomes.committed += 1;
+        }
+        if self.cores[core].attempt_forwarded {
+            self.stats.forwarder_outcomes.committed += 1;
+        }
+        if was_power {
+            self.token.release(core);
+            self.wake_power_waiter();
+        }
+    }
+
+    /// Aborts the running transaction attempt with `cause` and schedules
+    /// what comes next (retry, power escalation, fallback).
+    pub(crate) fn do_abort(&mut self, core: usize, cause: AbortCause) {
+        debug_assert!(self.cores[core].in_tx(), "abort outside a transaction");
+        self.stats.record_abort(cause);
+        self.trace.record(TraceEvent::Abort { at: self.clock, core, cause });
+        if self.cores[core].attempt_conflicted {
+            self.stats.conflicted_outcomes.aborted += 1;
+        }
+        if self.cores[core].attempt_forwarded {
+            self.stats.forwarder_outcomes.aborted += 1;
+        }
+        let verdict = {
+            let c = &mut self.cores[core];
+            // Train the Rrestrict/W predictor with this attempt's writes.
+            let written: Vec<LineAddr> = c
+                .l1
+                .iter()
+                .filter(|e| e.sm && !e.spec_received)
+                .map(|e| e.addr)
+                .collect();
+            c.write_predictor.entry(c.tx_site).or_default().extend(written);
+            c.l1.gang_invalidate_speculative();
+            c.read_sig.clear();
+            c.vsb.clear();
+            c.pic.reset();
+            c.levc.reset();
+            c.naive.reset();
+            c.commit_pending = false;
+            c.val_req = None;
+            c.val_timer_armed = false;
+            c.pending_mem = None;
+            c.oracle.reset();
+            c.epoch += 1;
+            c.mode = ExecMode::Plain;
+            let snap = c.snapshot.clone().expect("abort without snapshot");
+            c.vm.as_mut().expect("no thread").restore(&snap);
+            c.retry.on_abort(cause)
+        };
+        let epoch = self.cores[core].epoch;
+        match verdict {
+            RetryVerdict::Retry => {
+                self.cores[core].awaiting_retry = true;
+                let d = self.backoff(core);
+                self.events.push(self.clock + d, Event::RetryTx { core, epoch });
+            }
+            RetryVerdict::RequestPower => {
+                self.cores[core].awaiting_retry = true;
+                if self.token.try_acquire(core) {
+                    self.cores[core].is_power = true;
+                    self.stats.power_grants += 1;
+                    self.events.push(self.clock + 1, Event::RetryTx { core, epoch });
+                } else {
+                    let d = self.backoff(core);
+                    self.events.push(self.clock + d, Event::RetryTx { core, epoch });
+                }
+            }
+            RetryVerdict::Fallback => {
+                if self.policy.system.uses_power_token() {
+                    // The power token *is* the fallback path in power-based
+                    // systems (§VI-D).
+                    if self.token.try_acquire(core) {
+                        self.cores[core].is_power = true;
+                        self.stats.power_grants += 1;
+                        self.stats.fallback_acquisitions += 1;
+                        self.cores[core].awaiting_retry = true;
+                        self.events.push(self.clock + 1, Event::RetryTx { core, epoch });
+                    } else {
+                        self.cores[core].waiting = WaitReason::PowerToken;
+                        self.cores[core].awaiting_retry = true;
+                    }
+                } else if self.lock.try_acquire(core) {
+                    self.enter_fallback(core);
+                } else {
+                    self.cores[core].waiting = WaitReason::LockToAcquire;
+                    self.cores[core].awaiting_retry = true;
+                }
+            }
+        }
+    }
+
+    /// Randomized exponential backoff: doubles the window per failed
+    /// attempt (capped), which is what keeps requester-wins out of
+    /// livelock long enough to use its retry budget.
+    fn backoff(&mut self, core: usize) -> u64 {
+        let attempts = self.cores[core].retry.attempts().max(1);
+        let window = (self.tuning.backoff_base << attempts.min(7)).min(4096);
+        self.tuning.backoff_base + self.rng.below(window.max(1))
+    }
+
+    /// Begins non-speculative execution under the global lock; every other
+    /// running transaction aborts through its eager lock subscription.
+    fn enter_fallback(&mut self, core: usize) {
+        self.stats.fallback_acquisitions += 1;
+        self.trace.record(TraceEvent::Fallback { at: self.clock, core });
+        for other in 0..self.cores.len() {
+            if other != core && self.cores[other].in_tx() {
+                self.do_abort(other, AbortCause::FallbackLock);
+            }
+        }
+        let c = &mut self.cores[core];
+        c.mode = ExecMode::Fallback;
+        let epoch = c.epoch;
+        self.events.push(self.clock + 1, Event::CoreStep { core, epoch });
+    }
+
+    /// Handles a `RetryTx` event: resume whatever the core is waiting for.
+    /// Duplicate wakeups (e.g. several lock releases while parked) are
+    /// ignored via the `awaiting_retry` latch.
+    pub(crate) fn retry_tx(&mut self, core: usize) {
+        if !self.cores[core].awaiting_retry {
+            return;
+        }
+        match self.cores[core].waiting {
+            WaitReason::LockToAcquire => {
+                if self.lock.try_acquire(core) {
+                    let c = &mut self.cores[core];
+                    c.waiting = WaitReason::None;
+                    c.awaiting_retry = false;
+                    self.enter_fallback(core);
+                }
+                // else: keep waiting; the next release wakes us again.
+            }
+            WaitReason::PowerToken => {
+                if self.token.try_acquire(core) {
+                    let c = &mut self.cores[core];
+                    c.waiting = WaitReason::None;
+                    c.is_power = true;
+                    self.stats.power_grants += 1;
+                    self.stats.fallback_acquisitions += 1;
+                    self.start_speculative(core);
+                }
+            }
+            WaitReason::LockToStart | WaitReason::None => {
+                if !self.policy.system.uses_power_token() && self.lock.is_held() {
+                    self.cores[core].waiting = WaitReason::LockToStart;
+                } else {
+                    self.cores[core].waiting = WaitReason::None;
+                    self.start_speculative(core);
+                }
+            }
+        }
+    }
+
+    fn start_speculative(&mut self, core: usize) {
+        self.cores[core].awaiting_retry = false;
+        self.begin_attempt(core);
+        let epoch = self.cores[core].epoch;
+        self.events.push(self.clock + 1, Event::CoreStep { core, epoch });
+    }
+
+    /// Re-issues a nacked demand request.
+    pub(crate) fn mem_retry(&mut self, core: usize) {
+        if self.cores[core].pending_mem.is_some() {
+            self.issue_pending_request(core, 0);
+        }
+    }
+
+    /// Wakes cores parked on the fallback lock (acquirers first).
+    pub(crate) fn wake_lock_waiters(&mut self) {
+        let mut delay = 1;
+        for core in 0..self.cores.len() {
+            if self.cores[core].waiting == WaitReason::LockToAcquire {
+                let epoch = self.cores[core].epoch;
+                self.events.push(self.clock + delay, Event::RetryTx { core, epoch });
+                delay += 1;
+            }
+        }
+        for core in 0..self.cores.len() {
+            if self.cores[core].waiting == WaitReason::LockToStart {
+                let epoch = self.cores[core].epoch;
+                self.events.push(self.clock + delay, Event::RetryTx { core, epoch });
+                delay += 1;
+            }
+        }
+    }
+
+    /// Wakes cores parked on the power token.
+    pub(crate) fn wake_power_waiter(&mut self) {
+        let mut delay = 1;
+        for core in 0..self.cores.len() {
+            if self.cores[core].waiting == WaitReason::PowerToken {
+                let epoch = self.cores[core].epoch;
+                self.events.push(self.clock + delay, Event::RetryTx { core, epoch });
+                delay += 1;
+            }
+        }
+    }
+
+    /// Inserts a line into a core's L1, handling evictions: dirty
+    /// non-speculative victims write back; speculative victims abort the
+    /// transaction (capacity). Returns `false` if the insertion aborted the
+    /// transaction.
+    pub(crate) fn l1_insert(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        state: CoherenceState,
+        data: chats_mem::Line,
+    ) -> bool {
+        let outcome = self.cores[core].l1.insert(line, state, data);
+        if let EvictOutcome::Evicted(victim) = outcome {
+            if victim.sm || victim.spec_received {
+                // A write-set or spec-received block left the cache: the
+                // transaction cannot survive (§III-A).
+                self.do_abort(core, AbortCause::Capacity);
+                return false;
+            }
+            if victim.state == CoherenceState::Modified {
+                self.dir.store.write_line(victim.addr, victim.data);
+                self.send_to_dir(core, MsgClass::Data, DirMsg::WbTiming, 0);
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,432 @@
+//! The [`Machine`]: construction, event loop and messaging fabric.
+
+use crate::core_state::CoreState;
+use crate::dir::Directory;
+use crate::msg::{CoreMsg, DirMsg, Event, Request};
+use crate::trace::{Trace, TraceEvent};
+use chats_core::{PolicyConfig, PowerToken, TimestampSource};
+use chats_core::retry::FallbackLock;
+use chats_mem::{Addr, CoherenceState};
+use chats_noc::{Crossbar, MsgClass, NodeId};
+use chats_sim::{Cycle, EventQueue, SimRng, SystemConfig};
+use chats_stats::RunStats;
+use chats_tvm::Vm;
+use std::error::Error;
+use std::fmt;
+
+/// Machine-level tuning knobs not specified by Table I/II: backoff and
+/// stall pacing. These are identical across HTM systems so comparisons stay
+/// fair.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuning {
+    /// Base of the randomized linear backoff applied between transaction
+    /// retries (`backoff_base * attempts + rand(0..backoff_base * attempts)`).
+    pub backoff_base: u64,
+    /// Delay before re-issuing a nacked/stalled demand request.
+    pub stall_delay: u64,
+    /// Gap between successive validation probes while a commit is pending.
+    pub commit_validation_gap: u64,
+    /// Upper bound on core-local cycles executed per event (bounds the
+    /// timing skew of burst execution).
+    pub compute_slice_max: u64,
+    /// Enable the atomicity oracle: every commit is checked against the
+    /// §III-C serializability criterion (each transactionally read word
+    /// equals the committed value at the commit instant). Used by the test
+    /// suite; off by default.
+    pub check_atomicity: bool,
+    /// Debug: log every protocol action touching this line (printed into
+    /// oracle-violation panics).
+    pub watch_line: Option<chats_mem::LineAddr>,
+}
+
+impl Default for Tuning {
+    fn default() -> Tuning {
+        Tuning {
+            backoff_base: 16,
+            stall_delay: 24,
+            commit_validation_gap: 16,
+            compute_slice_max: 256,
+            check_atomicity: false,
+            watch_line: None,
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded its cycle budget — a livelock or a budget set too
+    /// low.
+    Timeout {
+        /// Cycle at which the simulation gave up.
+        at_cycle: u64,
+    },
+    /// The event queue drained while threads were still running: a lost
+    /// wakeup in the protocol (a simulator bug, never a workload issue).
+    Deadlock {
+        /// Cycle at which events ran out.
+        at_cycle: u64,
+        /// Diagnostic dump of core states.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { at_cycle } => {
+                write!(f, "simulation exceeded its cycle budget at cycle {at_cycle}")
+            }
+            SimError::Deadlock { at_cycle, detail } => {
+                write!(f, "event queue drained with live threads at cycle {at_cycle}:\n{detail}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The whole simulated multicore.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Machine {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) policy: PolicyConfig,
+    pub(crate) tuning: Tuning,
+    pub(crate) clock: Cycle,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) xbar: Crossbar,
+    pub(crate) dir: Directory,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) lock: FallbackLock,
+    pub(crate) token: PowerToken,
+    pub(crate) ts_source: TimestampSource,
+    pub(crate) rng: SimRng,
+    pub(crate) stats: RunStats,
+    pub(crate) halted: usize,
+    pub(crate) trace: Trace,
+    pub(crate) watch_log: Vec<String>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("system", &self.policy.system)
+            .field("cores", &self.cores.len())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine with `sys` hardware, `policy` HTM system and
+    /// machine `tuning`, seeded with `seed`.
+    pub fn new(sys: SystemConfig, policy: PolicyConfig, tuning: Tuning, seed: u64) -> Machine {
+        let n = sys.core.cores;
+        let power_threshold = if policy.system.uses_power_token() {
+            Some(policy.power_threshold)
+        } else {
+            None
+        };
+        let cores = (0..n)
+            .map(|_| {
+                let mut c = CoreState::new(
+                    sys.mem.l1_sets,
+                    sys.mem.l1_ways,
+                    policy.vsb_size,
+                    policy.naive_counter_bits,
+                    policy.retries,
+                    power_threshold,
+                );
+                if tuning.check_atomicity {
+                    c.oracle.enable();
+                }
+                c
+            })
+            .collect();
+        Machine {
+            cfg: sys,
+            policy,
+            tuning,
+            clock: Cycle::ZERO,
+            events: EventQueue::new(),
+            xbar: Crossbar::new(sys.noc, n + 1),
+            dir: Directory::new(),
+            cores,
+            lock: FallbackLock::new(),
+            token: PowerToken::new(),
+            ts_source: TimestampSource::new(),
+            rng: SimRng::seed_from(seed),
+            stats: RunStats::default(),
+            halted: n,
+            trace: Trace::default(),
+            watch_log: Vec::new(),
+        }
+    }
+
+    /// Installs a thread on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or already loaded.
+    pub fn load_thread(&mut self, core: usize, vm: Vm) {
+        let c = &mut self.cores[core];
+        assert!(c.vm.is_none(), "core {core} already has a thread");
+        c.vm = Some(vm);
+        c.halted = false;
+        self.halted -= 1;
+    }
+
+    /// Writes an initial value into simulated memory before the run
+    /// (building the workload's data structures).
+    pub fn store_init(&mut self, addr: Addr, value: u64) {
+        self.dir.store.write_word(addr, value);
+    }
+
+    /// Reads a word of memory as an outside observer would *after* the run:
+    /// a `Modified` (non-speculative) copy in some L1 wins over the backing
+    /// store.
+    #[must_use]
+    pub fn inspect_word(&self, addr: Addr) -> u64 {
+        let line = addr.line();
+        for c in &self.cores {
+            if let Some(e) = c.l1.lookup(line) {
+                if e.state == CoherenceState::Modified && !e.sm && !e.spec_received {
+                    return e.data.read(addr);
+                }
+            }
+        }
+        self.dir.store.read_word(addr)
+    }
+
+    /// The active policy configuration.
+    #[must_use]
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// The hardware configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The statistics gathered so far (complete after [`Machine::run`]).
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Enables protocol tracing; at most `limit` events are kept.
+    /// Call before [`Machine::run`]. See [`TraceEvent`].
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.trace.enable(limit);
+    }
+
+    /// The recorded protocol trace (empty unless tracing was enabled).
+    #[must_use]
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.events()
+    }
+
+    /// `true` when `line` is under watch (guard before formatting).
+    pub(crate) fn watching(&self, line: chats_mem::LineAddr) -> bool {
+        self.tuning.watch_line == Some(line) && self.watch_log.len() < 10_000
+    }
+
+    /// Appends a pre-formatted watch-log entry.
+    pub(crate) fn watch_push(&mut self, msg: String) {
+        let at = self.clock;
+        self.watch_log.push(format!("[{at}] {msg}"));
+    }
+
+    /// The watch log accumulated for `Tuning::watch_line`.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn watch_log(&self) -> &[String] {
+        &self.watch_log
+    }
+
+    /// Diagnostic description of one line's global state (directory view
+    /// plus every cached copy), for protocol debugging.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn describe_line(&self, line: chats_mem::LineAddr) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "dir[{line}] = {:?}", self.dir.state_of(line));
+        let _ = writeln!(s, "store[{line}] = {:?}", self.dir.store.read_line(line));
+        for (i, c) in self.cores.iter().enumerate() {
+            if let Some(e) = c.l1.lookup(line) {
+                let _ = writeln!(
+                    s,
+                    "core{i}: {:?} sm={} spec={} data={:?} in_sig={} vsb={} mode={:?}",
+                    e.state,
+                    e.sm,
+                    e.spec_received,
+                    e.data,
+                    c.read_sig.contains(line),
+                    c.vsb.contains(line),
+                    c.mode,
+                );
+            } else if c.read_sig.contains(line) {
+                let _ = writeln!(s, "core{i}: no copy, in read signature, mode={:?}", c.mode);
+            }
+        }
+        s
+    }
+
+    /// One-line status per core plus directory summary, for diagnosing
+    /// stuck simulations.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "clock={} events={} halted={}", self.clock, self.events.len(), self.halted);
+        for (i, c) in self.cores.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "core{i}: halted={} mode={:?} wait={:?} pend={:?} val={:?} vsb={} epoch={} cp={}",
+                c.halted,
+                c.mode,
+                c.waiting,
+                c.pending_mem.map(|p| (p.line, p.getx)),
+                c.val_req,
+                c.vsb.len(),
+                c.epoch,
+                c.commit_pending,
+            );
+        }
+        s
+    }
+
+    /// Runs to completion (every thread halted) or to `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if any thread is still running at
+    /// `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        for core in 0..self.cores.len() {
+            if self.cores[core].vm.is_some() && !self.cores[core].halted {
+                let epoch = self.cores[core].epoch;
+                // Slight stagger breaks artificial lockstep between threads.
+                self.events.push(Cycle(core as u64), Event::CoreStep { core, epoch });
+            }
+        }
+        while let Some((t, ev)) = self.events.pop() {
+            if t.0 > max_cycles {
+                return Err(SimError::Timeout { at_cycle: t.0 });
+            }
+            self.clock = t;
+            self.dispatch(ev);
+            if self.halted == self.cores.len() {
+                break;
+            }
+        }
+        if self.halted != self.cores.len() {
+            return Err(SimError::Deadlock {
+                at_cycle: self.clock.0,
+                detail: self.debug_dump(),
+            });
+        }
+        self.finish_stats();
+        Ok(self.stats.clone())
+    }
+
+    fn finish_stats(&mut self) {
+        self.stats.cycles = self.clock.0;
+        self.stats.flits = self.xbar.flits_sent();
+        self.stats.control_messages = self.xbar.control_messages();
+        self.stats.data_messages = self.xbar.data_messages();
+        self.stats.instructions = self
+            .cores
+            .iter()
+            .filter_map(|c| c.vm.as_ref())
+            .map(|v| v.retired())
+            .sum();
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::CoreStep { core, epoch } => {
+                if self.cores[core].epoch == epoch && !self.cores[core].halted {
+                    self.core_step(core);
+                }
+            }
+            Event::RetryTx { core, epoch } => {
+                if self.cores[core].epoch == epoch && !self.cores[core].halted {
+                    self.retry_tx(core);
+                }
+            }
+            Event::MemRetry { core, epoch } => {
+                if self.cores[core].epoch == epoch {
+                    self.mem_retry(core);
+                }
+            }
+            Event::ValidationTick { core, epoch } => {
+                if self.cores[core].epoch == epoch {
+                    self.validation_tick(core);
+                }
+            }
+            Event::DirRecv(msg) => self.dir_recv(msg),
+            Event::CoreRecv { core, msg } => self.core_recv(core, msg),
+        }
+    }
+
+    // ---- messaging fabric ---------------------------------------------
+
+    pub(crate) fn dir_node(&self) -> NodeId {
+        NodeId(self.cores.len())
+    }
+
+    /// Sends a message from a core to the directory, injecting at
+    /// `clock + delay`.
+    pub(crate) fn send_to_dir(&mut self, from_core: usize, class: MsgClass, msg: DirMsg, delay: u64) {
+        let at = self.clock + delay;
+        let arrive = self.xbar.send(at, NodeId(from_core), self.dir_node(), class);
+        self.events.push(arrive, Event::DirRecv(msg));
+    }
+
+    /// Sends a message from the directory to a core, injecting at
+    /// `clock + delay`.
+    pub(crate) fn dir_send_to_core(&mut self, core: usize, class: MsgClass, msg: CoreMsg, delay: u64) {
+        let at = self.clock + delay;
+        let arrive = self.xbar.send(at, self.dir_node(), NodeId(core), class);
+        self.events.push(arrive, Event::CoreRecv { core, msg });
+    }
+
+    /// Sends a message from one core's cache to another core (3-hop data
+    /// responses, SpecResps, nacks).
+    pub(crate) fn core_send_to_core(
+        &mut self,
+        from: usize,
+        to: usize,
+        class: MsgClass,
+        msg: CoreMsg,
+        delay: u64,
+    ) {
+        let at = self.clock + delay;
+        let arrive = self.xbar.send(at, NodeId(from), NodeId(to), class);
+        self.events.push(arrive, Event::CoreRecv { core: to, msg });
+    }
+
+    /// Issues the demand request described by the core's `pending_mem`.
+    pub(crate) fn issue_pending_request(&mut self, core: usize, delay: u64) {
+        let c = &self.cores[core];
+        let pm = c.pending_mem.expect("no pending memory op to issue");
+        let req = Request {
+            core,
+            line: pm.line,
+            getx: pm.getx,
+            pic: c.pic.pic,
+            power: c.is_power,
+            non_tx: !c.in_tx(),
+            levc_ts: c.levc_ts,
+            levc_consumed: c.levc.has_consumed,
+            epoch: c.epoch,
+        };
+        self.send_to_dir(core, MsgClass::Control, DirMsg::Request(req), delay);
+    }
+}

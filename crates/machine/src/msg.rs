@@ -1,0 +1,166 @@
+//! Protocol messages and simulation events.
+
+use chats_core::{Pic, Timestamp};
+use chats_mem::{Line, LineAddr};
+
+/// A coherence request as it travels to the directory. Carries the HTM
+/// metadata the paper piggybacks on coherence traffic: the requester's PiC,
+/// power status, and (for LEVC) its idealized timestamp and consumed flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Requesting core.
+    pub core: usize,
+    /// Line requested.
+    pub line: LineAddr,
+    /// `true` for exclusive (GetX), `false` for shared (GetS).
+    pub getx: bool,
+    /// Requester's PiC at issue time (may be stale on arrival — that race
+    /// is part of the design, §IV-C).
+    pub pic: Pic,
+    /// Requester holds the power token.
+    pub power: bool,
+    /// Requester is not executing a transaction (fallback or plain code):
+    /// conflicts always resolve requester-wins.
+    pub non_tx: bool,
+    /// LEVC idealized timestamp (set only under LEVC-BE-Idealized).
+    pub levc_ts: Option<Timestamp>,
+    /// LEVC: requester has consumed speculative data (chain-length check).
+    pub levc_consumed: bool,
+    /// Requester's transaction epoch, echoed in responses so stale replies
+    /// can be discarded after an abort.
+    pub epoch: u64,
+}
+
+/// Messages delivered to a core's L1 controller.
+#[derive(Debug, Clone)]
+pub enum CoreMsg {
+    /// A standard coherence response with data and permissions.
+    Data {
+        /// Line serviced.
+        line: LineAddr,
+        /// Committed (or owner-current) data.
+        data: Line,
+        /// Exclusive ownership granted.
+        excl: bool,
+        /// Echo of the request epoch.
+        epoch: u64,
+    },
+    /// A speculative response: a value hint with no permissions (§IV-A).
+    SpecResp {
+        /// Line hinted.
+        line: LineAddr,
+        /// The producer's current speculative value.
+        data: Line,
+        /// The producer's PiC after the forwarding; `None` when the
+        /// producer is a power transaction (PCHATS), a naive forwarder or
+        /// a LEVC forwarder (no PiC in those systems).
+        pic: Option<Pic>,
+        /// Echo of the request epoch.
+        epoch: u64,
+    },
+    /// Negative acknowledgement: retry later, nothing changed.
+    Nack {
+        /// Line nacked.
+        line: LineAddr,
+        /// Echo of the request epoch.
+        epoch: u64,
+    },
+    /// Directory-forwarded request probing this core as owner.
+    Probe {
+        /// The original request.
+        req: Request,
+    },
+    /// Invalidation of a shared copy (on someone's GetX).
+    Inv {
+        /// The original request (for conflict policy at the sharer).
+        req: Request,
+    },
+}
+
+/// How an owner probe concluded, reported back to the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Owner downgraded to Shared and sent data to the requester.
+    Shared {
+        /// The (former exclusive) owner that keeps a shared copy.
+        owner: usize,
+    },
+    /// Owner invalidated its copy and transferred ownership to the
+    /// requester.
+    Transferred,
+    /// Owner had no copy (silent eviction) or aborted: the directory must
+    /// service the request from the backing store.
+    NotServiced,
+    /// The request was answered with a `SpecResp` or `Nack` directly by the
+    /// owner; coherence state and ownership are unchanged (§IV-A).
+    Canceled,
+}
+
+/// Messages delivered to the directory.
+#[derive(Debug, Clone)]
+pub enum DirMsg {
+    /// A new coherence request.
+    Request(Request),
+    /// Conclusion of an owner probe.
+    ProbeDone {
+        /// The probed request (identifies the blocked line + requester).
+        req: Request,
+        /// What the owner did.
+        outcome: ProbeOutcome,
+    },
+    /// A sharer acknowledged (or refused) an invalidation.
+    InvAck {
+        /// The request that triggered the invalidation.
+        req: Request,
+        /// Sharer acknowledging.
+        core: usize,
+        /// `true` when a power transaction refused to invalidate (the
+        /// requester will be nacked).
+        refused: bool,
+    },
+    /// Timing/flit-accounting-only writeback notification; the store value
+    /// was already updated synchronously (see DESIGN.md §6).
+    WbTiming,
+}
+
+/// All simulation events.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Resume executing a core's VM.
+    CoreStep {
+        /// Core to step.
+        core: usize,
+        /// Epoch guard: stale events are dropped.
+        epoch: u64,
+    },
+    /// Begin a new transaction attempt after backoff / wakeup.
+    RetryTx {
+        /// Core retrying.
+        core: usize,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Re-issue a nacked or stalled demand request.
+    MemRetry {
+        /// Core retrying its memory operation.
+        core: usize,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Periodic validation timer fired.
+    ValidationTick {
+        /// Core whose VSB should be probed.
+        core: usize,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// A message arrived at the directory.
+    DirRecv(DirMsg),
+    /// A message arrived at a core.
+    CoreRecv {
+        /// Destination core.
+        core: usize,
+        /// The message.
+        msg: CoreMsg,
+    },
+}

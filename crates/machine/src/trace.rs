@@ -1,0 +1,170 @@
+//! Optional event tracing.
+//!
+//! When enabled (see [`crate::Machine::enable_trace`]), the machine records
+//! one [`TraceEvent`] per interesting protocol action: transaction
+//! lifecycle, forwardings, validations and fallback episodes. Traces make
+//! chain formation visible — which transaction produced for which, with
+//! which PiCs — and power the `chain_anatomy` example.
+//!
+//! Tracing is off by default and costs nothing when disabled.
+
+use chats_core::{AbortCause, Pic};
+use chats_mem::LineAddr;
+use chats_sim::Cycle;
+use std::fmt;
+
+/// One recorded protocol action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A transaction attempt began.
+    TxBegin {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+    },
+    /// A transaction committed.
+    Commit {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+    },
+    /// A transaction attempt aborted.
+    Abort {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+        /// Why.
+        cause: AbortCause,
+    },
+    /// A producer answered a conflicting request with a `SpecResp`.
+    Forward {
+        /// When.
+        at: Cycle,
+        /// Producer core.
+        from: usize,
+        /// Consumer core.
+        to: usize,
+        /// Conflicting line.
+        line: LineAddr,
+        /// The PiC carried by the `SpecResp` (`None` from power/naive/LEVC
+        /// producers).
+        pic: Option<Pic>,
+    },
+    /// A speculatively received line validated successfully.
+    Validated {
+        /// When.
+        at: Cycle,
+        /// Consumer core.
+        core: usize,
+        /// The line that is now genuinely owned.
+        line: LineAddr,
+    },
+    /// A thread acquired the fallback path (lock or forced token).
+    Fallback {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp.
+    #[must_use]
+    pub fn at(&self) -> Cycle {
+        match self {
+            TraceEvent::TxBegin { at, .. }
+            | TraceEvent::Commit { at, .. }
+            | TraceEvent::Abort { at, .. }
+            | TraceEvent::Forward { at, .. }
+            | TraceEvent::Validated { at, .. }
+            | TraceEvent::Fallback { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::TxBegin { at, core } => write!(f, "[{at:>8}] core{core} tx-begin"),
+            TraceEvent::Commit { at, core } => write!(f, "[{at:>8}] core{core} commit"),
+            TraceEvent::Abort { at, core, cause } => {
+                write!(f, "[{at:>8}] core{core} abort ({cause})")
+            }
+            TraceEvent::Forward { at, from, to, line, pic } => match pic {
+                Some(p) => write!(f, "[{at:>8}] core{from} -> core{to} SpecResp {line} {p}"),
+                None => write!(f, "[{at:>8}] core{from} -> core{to} SpecResp {line} (no PiC)"),
+            },
+            TraceEvent::Validated { at, core, line } => {
+                write!(f, "[{at:>8}] core{core} validated {line}")
+            }
+            TraceEvent::Fallback { at, core } => write!(f, "[{at:>8}] core{core} fallback"),
+        }
+    }
+}
+
+/// The trace buffer: bounded so runaway runs cannot exhaust memory.
+#[derive(Debug, Default)]
+pub(crate) struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    limit: usize,
+}
+
+impl Trace {
+    pub(crate) fn enable(&mut self, limit: usize) {
+        self.enabled = true;
+        self.limit = limit;
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.enabled && self.events.len() < self.limit {
+            self.events.push(ev);
+        }
+    }
+
+    pub(crate) fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.record(TraceEvent::TxBegin { at: Cycle(1), core: 0 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_up_to_limit() {
+        let mut t = Trace::default();
+        t.enable(2);
+        for i in 0..5 {
+            t.record(TraceEvent::Commit { at: Cycle(i), core: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ev = TraceEvent::Forward {
+            at: Cycle(120),
+            from: 3,
+            to: 5,
+            line: LineAddr(0x40),
+            pic: Some(Pic::INIT),
+        };
+        let s = ev.to_string();
+        assert!(s.contains("core3"));
+        assert!(s.contains("core5"));
+        assert!(s.contains("SpecResp"));
+        assert_eq!(ev.at(), Cycle(120));
+    }
+}

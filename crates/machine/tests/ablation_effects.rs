@@ -1,0 +1,140 @@
+//! Regression tests for the design-choice ablations: each disabled
+//! mechanism must still be *correct* (serializable) and must cost
+//! performance on chain-heavy workloads — otherwise the mechanism would be
+//! dead weight.
+
+use chats_core::{Ablation, HtmSystem, PolicyConfig};
+use chats_machine::{Machine, Tuning};
+use chats_mem::Addr;
+use chats_sim::SystemConfig;
+use chats_tvm::{ProgramBuilder, Reg, Vm};
+
+/// A chain-friendly kernel: every thread repeatedly RMWs one of two hot
+/// lines, so long chains form under full CHATS.
+fn run(ablation: Ablation, seed: u64) -> (u64, u64, chats_stats::RunStats) {
+    let (a, v, i, n, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    let mut b = ProgramBuilder::new();
+    b.imm(i, 0).imm(n, 30);
+    let top = b.label();
+    b.bind(top);
+    b.tx_begin();
+    b.imm(bound, 2);
+    b.rand(a, bound);
+    b.shli(a, a, 3);
+    b.load(v, a);
+    b.addi(v, v, 1);
+    b.store(a, v);
+    b.tx_end();
+    b.pause(25);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let prog = b.build();
+
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = 4;
+    let policy = PolicyConfig::for_system(HtmSystem::Chats).with_ablation(ablation);
+    let mut m = Machine::new(sys, policy, Tuning::default(), seed);
+    for t in 0..4 {
+        m.load_thread(t, Vm::new(prog.clone(), seed + t as u64));
+    }
+    let s = m.run(50_000_000).unwrap();
+    let total = m.inspect_word(Addr(0)) + m.inspect_word(Addr(8));
+    (total, s.cycles, s)
+}
+
+#[test]
+fn ablated_variants_stay_serializable() {
+    for ablation in [
+        Ablation::default(),
+        Ablation {
+            no_pic_overtake: true,
+            single_link_chains: false,
+        },
+        Ablation {
+            no_pic_overtake: false,
+            single_link_chains: true,
+        },
+        Ablation {
+            no_pic_overtake: true,
+            single_link_chains: true,
+        },
+    ] {
+        let (total, _, _) = run(ablation, 9);
+        assert_eq!(total, 4 * 30, "{ablation:?} lost updates");
+    }
+}
+
+/// On a chain-heavy kernel (8 threads hammering 2 hot lines with a hold
+/// window), the single-link restriction must curtail forwarding and cost
+/// time — chains longer than one link are where CHATS earns its keep.
+#[test]
+fn single_link_restriction_curtails_chains() {
+    fn run_chainy(ablation: Ablation, seed: u64) -> chats_stats::RunStats {
+        let (a, v, i, n, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+        let mut b = ProgramBuilder::new();
+        b.imm(i, 0).imm(n, 25);
+        let top = b.label();
+        b.bind(top);
+        b.tx_begin();
+        b.imm(bound, 2);
+        b.rand(a, bound);
+        b.shli(a, a, 3);
+        b.load(v, a);
+        b.pause(60); // hold the line: chains form in this window
+        b.addi(v, v, 1);
+        b.store(a, v);
+        b.tx_end();
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        let prog = b.build();
+
+        let mut sys = SystemConfig::small_test();
+        sys.core.cores = 8;
+        let policy = PolicyConfig::for_system(HtmSystem::Chats).with_ablation(ablation);
+        let mut m = Machine::new(sys, policy, Tuning::default(), seed);
+        for t in 0..8 {
+            m.load_thread(t, Vm::new(prog.clone(), seed + t as u64));
+        }
+        let s = m.run(100_000_000).unwrap();
+        let total = m.inspect_word(Addr(0)) + m.inspect_word(Addr(8));
+        assert_eq!(total, 8 * 25, "{ablation:?} lost updates");
+        s
+    }
+
+    // Individual seeds are noisy (retries re-forward), so aggregate.
+    let mut full_cycles = 0u64;
+    let mut single_cycles = 0u64;
+    for seed in 21..27 {
+        full_cycles += run_chainy(Ablation::default(), seed).cycles;
+        single_cycles += run_chainy(
+            Ablation {
+                no_pic_overtake: false,
+                single_link_chains: true,
+            },
+            seed,
+        )
+        .cycles;
+    }
+    assert!(
+        full_cycles <= single_cycles,
+        "full CHATS must not lose to its single-link ablation in aggregate: {full_cycles} > {single_cycles}"
+    );
+}
+
+#[test]
+fn chains_longer_than_one_pay_off() {
+    let (_, full_cycles, _) = run(Ablation::default(), 9);
+    let (_, single_cycles, _) = run(
+        Ablation {
+            no_pic_overtake: false,
+            single_link_chains: true,
+        },
+        9,
+    );
+    assert!(
+        full_cycles <= single_cycles,
+        "full CHATS must not lose to its single-link ablation ({full_cycles} > {single_cycles})"
+    );
+}

@@ -1,0 +1,392 @@
+//! Cross-system integration tests: every HTM system must preserve
+//! transactional semantics (serializability of committed effects) under
+//! contention, and the mechanisms specific to each system must actually
+//! engage.
+
+use chats_core::{AbortCause, ForwardSet, HtmSystem, PolicyConfig};
+use chats_machine::{Machine, Tuning};
+use chats_mem::Addr;
+use chats_sim::SystemConfig;
+use chats_tvm::{ProgramBuilder, Reg, Vm};
+
+/// Builds a program where a thread performs `iters` transactions, each
+/// incrementing `counters_per_tx` counters chosen from a pool of
+/// `pool_words` shared words (stride 8 words = distinct lines), starting at
+/// a per-thread rotating offset so threads collide.
+fn counter_torture(iters: u64, counters_per_tx: u64, pool_lines: u64) -> chats_tvm::Program {
+    let mut b = ProgramBuilder::new();
+    let (i, n, j, k, addr, v, one, pool, tid) = (
+        Reg(0),
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(8),
+    );
+    // tid preset in Reg(8) by the harness.
+    b.imm(i, 0).imm(n, iters).imm(one, 1).imm(pool, pool_lines);
+    let outer = b.label();
+    b.bind(outer);
+    b.tx_begin();
+    b.imm(j, 0);
+    let inner = b.label();
+    b.bind(inner);
+    // counter index = (i + j + tid) % pool ; address = index * 8
+    b.add(k, i, j);
+    b.add(k, k, tid);
+    b.remi(k, k, 1); // placeholder, replaced below by pool mod via register
+    // Compute k % pool with a loop-free trick: k - (k / pool) * pool needs
+    // register division; emulate with repeated subtraction is costly, so
+    // use bitmask when pool is a power of two.
+    assert!(pool_lines.is_power_of_two(), "pool must be a power of two");
+    b.add(k, i, j);
+    b.add(k, k, tid);
+    b.andi(k, k, pool_lines - 1);
+    b.shli(addr, k, 3);
+    b.load(v, addr);
+    b.add(v, v, one);
+    b.store(addr, v);
+    b.addi(j, j, 1);
+    b.imm(k, counters_per_tx);
+    b.blt(j, k, inner);
+    b.tx_end();
+    b.addi(i, i, 1);
+    b.blt(i, n, outer);
+    b.halt();
+    b.build()
+}
+
+fn run_torture(system: HtmSystem, threads: usize, seed: u64) -> (Machine, chats_stats::RunStats) {
+    let iters = 40u64;
+    let per_tx = 3u64;
+    let pool = 8u64;
+    let prog = counter_torture(iters, per_tx, pool);
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = threads;
+    let mut m = Machine::new(sys, PolicyConfig::for_system(system), Tuning::default(), seed);
+    for t in 0..threads {
+        let mut vm = Vm::new(prog.clone(), seed + t as u64);
+        vm.preset_reg(Reg(8), t as u64);
+        m.load_thread(t, vm);
+    }
+    let stats = m.run(80_000_000).expect("torture run timed out");
+    (m, stats)
+}
+
+/// The committed increments must all be present: total across counters ==
+/// threads * iters * counters_per_tx. This is the serializability check —
+/// lost updates or phantom speculative values would break the sum.
+fn check_sum(m: &Machine, threads: u64) {
+    let expect = threads * 40 * 3;
+    let total: u64 = (0..8).map(|i| m.inspect_word(Addr(i * 8))).sum();
+    assert_eq!(total, expect, "lost or duplicated transactional updates");
+}
+
+#[test]
+fn baseline_preserves_atomicity() {
+    let (m, s) = run_torture(HtmSystem::Baseline, 4, 11);
+    check_sum(&m, 4);
+    assert_eq!(s.forwardings, 0, "baseline never forwards");
+    // Every transaction completes exactly once: as an HTM commit or as a
+    // fallback-lock execution.
+    assert_eq!(
+        s.commits + s.fallback_acquisitions,
+        4 * 40,
+        "every transaction must complete exactly once"
+    );
+}
+
+#[test]
+fn naive_rs_preserves_atomicity() {
+    let (m, _s) = run_torture(HtmSystem::NaiveRs, 4, 12);
+    check_sum(&m, 4);
+}
+
+#[test]
+fn chats_preserves_atomicity() {
+    let (m, s) = run_torture(HtmSystem::Chats, 4, 13);
+    check_sum(&m, 4);
+    assert!(s.forwardings > 0, "contended CHATS run must forward");
+    assert!(s.validations_ok > 0, "forwarded data must validate");
+}
+
+#[test]
+fn power_preserves_atomicity() {
+    let (m, s) = run_torture(HtmSystem::Power, 4, 14);
+    check_sum(&m, 4);
+    assert_eq!(s.forwardings, 0, "Power never forwards");
+}
+
+#[test]
+fn pchats_preserves_atomicity() {
+    let (m, _s) = run_torture(HtmSystem::Pchats, 4, 15);
+    check_sum(&m, 4);
+}
+
+#[test]
+fn levc_preserves_atomicity() {
+    let (m, _s) = run_torture(HtmSystem::LevcBeIdealized, 4, 16);
+    check_sum(&m, 4);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let (_, a) = run_torture(HtmSystem::Chats, 4, 99);
+    let (_, b) = run_torture(HtmSystem::Chats, 4, 99);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.commits, b.commits);
+    assert_eq!(a.aborts, b.aborts);
+    assert_eq!(a.flits, b.flits);
+}
+
+#[test]
+fn different_seeds_change_timing() {
+    let (_, a) = run_torture(HtmSystem::Chats, 4, 1);
+    let (_, b) = run_torture(HtmSystem::Chats, 4, 2);
+    // Same totals (semantics), but schedules may differ.
+    assert_eq!(a.commits, b.commits);
+}
+
+#[test]
+fn uncontended_transactions_never_abort() {
+    // Each thread works on its own private lines.
+    let mut b = ProgramBuilder::new();
+    let (i, n, addr, v, one, base) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+    b.imm(i, 0).imm(n, 20).imm(one, 1);
+    let top = b.label();
+    b.bind(top);
+    b.tx_begin();
+    b.shli(addr, i, 3);
+    b.add(addr, addr, base);
+    b.load(v, addr);
+    b.add(v, v, one);
+    b.store(addr, v);
+    b.tx_end();
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let prog = b.build();
+
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = 4;
+    let mut m = Machine::new(
+        sys,
+        PolicyConfig::for_system(HtmSystem::Chats),
+        Tuning::default(),
+        5,
+    );
+    for t in 0..4 {
+        let mut vm = Vm::new(prog.clone(), t as u64);
+        vm.preset_reg(Reg(5), 10_000 * (t as u64 + 1));
+        m.load_thread(t, vm);
+    }
+    let s = m.run(10_000_000).unwrap();
+    assert_eq!(s.total_aborts(), 0, "private data must never conflict");
+    assert_eq!(s.commits, 80);
+    for t in 0..4u64 {
+        for i in 0..20u64 {
+            assert_eq!(m.inspect_word(Addr(10_000 * (t + 1) + i * 8)), 1);
+        }
+    }
+}
+
+#[test]
+fn read_sharing_is_free() {
+    // All threads only read the same lines: no conflicts, no aborts.
+    let mut b = ProgramBuilder::new();
+    let (i, n, addr, v) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    b.imm(i, 0).imm(n, 30);
+    let top = b.label();
+    b.bind(top);
+    b.tx_begin();
+    b.andi(addr, i, 7);
+    b.shli(addr, addr, 3);
+    b.load(v, addr);
+    b.tx_end();
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let prog = b.build();
+
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = 4;
+    let mut m = Machine::new(
+        sys,
+        PolicyConfig::for_system(HtmSystem::Baseline),
+        Tuning::default(),
+        6,
+    );
+    for t in 0..4 {
+        m.load_thread(t, Vm::new(prog.clone(), t as u64));
+    }
+    let s = m.run(10_000_000).unwrap();
+    assert_eq!(s.total_aborts(), 0, "read-read sharing must not conflict");
+    assert_eq!(s.commits, 120);
+}
+
+#[test]
+fn capacity_overflow_falls_back_and_completes() {
+    // One transaction writes more distinct lines in one set than the L1
+    // has ways: speculative attempts die on capacity, the fallback path
+    // (non-speculative) must complete the work.
+    let mut b = ProgramBuilder::new();
+    let (i, n, addr, v, sets) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    b.imm(i, 0).imm(n, 8).imm(v, 7).imm(sets, 16 * 8); // 16 sets => stride 16 lines
+    b.tx_begin();
+    let top = b.label();
+    b.bind(top);
+    b.mul(addr, i, sets);
+    b.store(addr, v);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.tx_end();
+    b.halt();
+    let prog = b.build();
+
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = 1;
+    sys.mem.l1_ways = 4; // 8 same-set lines cannot fit 4 ways
+    let mut m = Machine::new(
+        sys,
+        PolicyConfig::for_system(HtmSystem::Baseline),
+        Tuning::default(),
+        7,
+    );
+    m.load_thread(0, Vm::new(prog, 0));
+    let s = m.run(10_000_000).unwrap();
+    assert!(
+        s.aborts_by(AbortCause::Capacity) > 0,
+        "expected capacity aborts"
+    );
+    assert!(s.fallback_acquisitions > 0, "expected the fallback path");
+    for i in 0..8u64 {
+        assert_eq!(m.inspect_word(Addr(i * 16 * 8)), 7);
+    }
+}
+
+#[test]
+fn power_token_engages_under_contention() {
+    let (_, s) = run_torture(HtmSystem::Power, 4, 21);
+    assert!(
+        s.power_grants > 0,
+        "contention must trigger power escalation"
+    );
+}
+
+#[test]
+fn chats_reduces_conflict_aborts_vs_baseline() {
+    let (_, base) = run_torture(HtmSystem::Baseline, 4, 31);
+    let (_, chats) = run_torture(HtmSystem::Chats, 4, 31);
+    // The headline claim, qualitatively: forwarding converts aborts into
+    // chained commits.
+    assert!(
+        chats.aborts_by(AbortCause::Conflict) < base.aborts_by(AbortCause::Conflict),
+        "CHATS {} !< baseline {}",
+        chats.aborts_by(AbortCause::Conflict),
+        base.aborts_by(AbortCause::Conflict)
+    );
+}
+
+#[test]
+fn forward_set_write_only_still_correct() {
+    let prog = counter_torture(40, 3, 8);
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = 4;
+    let policy = PolicyConfig::for_system(HtmSystem::Chats).with_forward_set(ForwardSet::WriteOnly);
+    let mut m = Machine::new(sys, policy, Tuning::default(), 8);
+    for t in 0..4 {
+        let mut vm = Vm::new(prog.clone(), t as u64);
+        vm.preset_reg(Reg(8), t as u64);
+        m.load_thread(t, vm);
+    }
+    m.run(80_000_000).unwrap();
+    check_sum(&m, 4);
+}
+
+#[test]
+fn zero_retry_policy_serializes_through_fallback() {
+    let prog = counter_torture(40, 3, 8);
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = 4;
+    let policy = PolicyConfig::for_system(HtmSystem::Baseline).with_retries(0);
+    let mut m = Machine::new(sys, policy, Tuning::default(), 9);
+    for t in 0..4 {
+        let mut vm = Vm::new(prog.clone(), t as u64);
+        vm.preset_reg(Reg(8), t as u64);
+        m.load_thread(t, vm);
+    }
+    let s = m.run(80_000_000).unwrap();
+    check_sum(&m, 4);
+    assert!(s.fallback_acquisitions > 0);
+}
+
+#[test]
+fn mixed_tx_and_plain_threads_coexist() {
+    // Thread 0 increments inside transactions, thread 1 writes a private
+    // region non-transactionally.
+    let mut b0 = ProgramBuilder::new();
+    let (i, n, addr, v, one) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    b0.imm(i, 0).imm(n, 25).imm(one, 1).imm(addr, 0);
+    let top0 = b0.label();
+    b0.bind(top0);
+    b0.tx_begin();
+    b0.load(v, addr);
+    b0.add(v, v, one);
+    b0.store(addr, v);
+    b0.tx_end();
+    b0.addi(i, i, 1);
+    b0.blt(i, n, top0);
+    b0.halt();
+
+    let mut b1 = ProgramBuilder::new();
+    b1.imm(i, 0).imm(n, 25).imm(one, 1);
+    let top1 = b1.label();
+    b1.bind(top1);
+    b1.shli(addr, i, 3);
+    b1.addi(addr, addr, 4096);
+    b1.store(addr, i);
+    b1.addi(i, i, 1);
+    b1.blt(i, n, top1);
+    b1.halt();
+
+    let mut sys = SystemConfig::small_test();
+    sys.core.cores = 2;
+    let mut m = Machine::new(
+        sys,
+        PolicyConfig::for_system(HtmSystem::Chats),
+        Tuning::default(),
+        10,
+    );
+    m.load_thread(0, Vm::new(b0.build(), 0));
+    m.load_thread(1, Vm::new(b1.build(), 1));
+    m.run(10_000_000).unwrap();
+    assert_eq!(m.inspect_word(Addr(0)), 25);
+    for i in 0..25u64 {
+        assert_eq!(m.inspect_word(Addr(4096 + i * 8)), i);
+    }
+}
+
+#[test]
+fn sixteen_core_full_config_run() {
+    // The paper's full 16-core geometry, moderate contention.
+    let prog = counter_torture(10, 2, 16);
+    let sys = SystemConfig::default();
+    let mut m = Machine::new(
+        sys,
+        PolicyConfig::for_system(HtmSystem::Chats),
+        Tuning::default(),
+        17,
+    );
+    for t in 0..16 {
+        let mut vm = Vm::new(prog.clone(), t as u64);
+        vm.preset_reg(Reg(8), t as u64);
+        m.load_thread(t, vm);
+    }
+    let s = m.run(200_000_000).unwrap();
+    let total: u64 = (0..16).map(|i| m.inspect_word(Addr(i * 8))).sum();
+    assert_eq!(total, 16 * 10 * 2);
+    assert!(s.commits >= 160);
+}

@@ -1,0 +1,397 @@
+//! Set-associative L1 data cache with HTM support bits.
+//!
+//! The L1 is the speculative-versioning store of the best-effort HTM (the
+//! paper's RTM-like baseline): each line carries
+//!
+//! * a MESI [`CoherenceState`],
+//! * an **SM** (speculatively modified) bit marking write-set lines, and
+//! * a **spec-received** bit marking lines obtained through a `SpecResp`
+//!   and still pending validation (they also count as write-set lines,
+//!   §III-A).
+//!
+//! Replacement is LRU but *favours* keeping write-set blocks, as the paper
+//! notes real RTM replacement does; evicting an SM or spec-received line is
+//! reported to the caller, which turns it into a capacity abort.
+
+use crate::addr::LineAddr;
+use crate::line::Line;
+use std::fmt;
+
+/// MESI stable states as seen by the private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceState {
+    /// Not present / no permissions.
+    Invalid,
+    /// Read permission, possibly other sharers.
+    Shared,
+    /// Read/write permission, clean, no other copies.
+    Exclusive,
+    /// Read/write permission, dirty.
+    Modified,
+}
+
+impl CoherenceState {
+    /// `true` when the state grants store permission.
+    #[must_use]
+    pub fn is_writable(self) -> bool {
+        matches!(self, CoherenceState::Exclusive | CoherenceState::Modified)
+    }
+
+    /// `true` when the state grants load permission.
+    #[must_use]
+    pub fn is_readable(self) -> bool {
+        !matches!(self, CoherenceState::Invalid)
+    }
+}
+
+/// One resident cache line.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Which line this is.
+    pub addr: LineAddr,
+    /// MESI state.
+    pub state: CoherenceState,
+    /// Current (possibly speculative) data.
+    pub data: Line,
+    /// Speculatively modified inside the running transaction (write set).
+    pub sm: bool,
+    /// Received via `SpecResp` and not yet validated.
+    pub spec_received: bool,
+    lru: u64,
+}
+
+/// What [`Cache::insert`] displaced, if anything.
+#[derive(Debug, Clone)]
+pub enum EvictOutcome {
+    /// A way was free; nothing was displaced.
+    None,
+    /// `victim` was evicted to make room. The caller must inspect its `sm`
+    /// and `spec_received` bits: displacing transactional state aborts the
+    /// transaction, and `Modified` non-transactional data must be written
+    /// back.
+    Evicted(CacheEntry),
+}
+
+/// A set-associative write-back cache.
+///
+/// # Example
+///
+/// ```
+/// use chats_mem::{Cache, CoherenceState, Line, LineAddr};
+/// let mut c = Cache::new(4, 2);
+/// c.insert(LineAddr(1), CoherenceState::Shared, Line::zeroed());
+/// assert!(c.lookup(LineAddr(1)).is_some());
+/// assert!(c.lookup(LineAddr(2)).is_none());
+/// ```
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Vec<CacheEntry>>,
+    lru_clock: u64,
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("resident", &self.entries.iter().map(Vec::len).sum::<usize>())
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Creates an empty cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Cache {
+        assert!(sets > 0 && ways > 0, "cache geometry must be non-zero");
+        Cache {
+            sets,
+            ways,
+            entries: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            lru_clock: 0,
+        }
+    }
+
+    fn set_of(&self, addr: LineAddr) -> usize {
+        addr.set_index(self.sets)
+    }
+
+    /// Immutable lookup; does not touch LRU order.
+    pub fn lookup(&self, addr: LineAddr) -> Option<&CacheEntry> {
+        self.entries[self.set_of(addr)]
+            .iter()
+            .find(|e| e.addr == addr && e.state.is_readable())
+    }
+
+    /// Mutable lookup; refreshes LRU order.
+    pub fn lookup_mut(&mut self, addr: LineAddr) -> Option<&mut CacheEntry> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set = self.set_of(addr);
+        let entry = self.entries[set]
+            .iter_mut()
+            .find(|e| e.addr == addr && e.state.is_readable());
+        if let Some(e) = entry {
+            e.lru = clock;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts (or overwrites) a line, choosing a victim if the set is full.
+    ///
+    /// Victim selection prefers, in order: an invalid way, the LRU line that
+    /// is *not* part of the write set, then the LRU line overall. The caller
+    /// decides what an eviction means (writeback, capacity abort, ...).
+    pub fn insert(&mut self, addr: LineAddr, state: CoherenceState, data: Line) -> EvictOutcome {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let set = self.set_of(addr);
+        let ways = self.ways;
+        let lines = &mut self.entries[set];
+
+        if let Some(e) = lines.iter_mut().find(|e| e.addr == addr) {
+            e.state = state;
+            e.data = data;
+            e.lru = clock;
+            return EvictOutcome::None;
+        }
+
+        let fresh = CacheEntry {
+            addr,
+            state,
+            data,
+            sm: false,
+            spec_received: false,
+            lru: clock,
+        };
+
+        if lines.len() < ways {
+            lines.push(fresh);
+            return EvictOutcome::None;
+        }
+
+        // Full set: evict. Prefer non-write-set LRU victims.
+        let victim_idx = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.sm && !e.spec_received)
+            .min_by_key(|(_, e)| e.lru)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("full set has at least one way")
+            });
+        let victim = std::mem::replace(&mut lines[victim_idx], fresh);
+        EvictOutcome::Evicted(victim)
+    }
+
+    /// Drops a line entirely (external invalidation). Returns the removed
+    /// entry so the caller can inspect its transactional bits and data.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<CacheEntry> {
+        let set = self.set_of(addr);
+        let lines = &mut self.entries[set];
+        let idx = lines.iter().position(|e| e.addr == addr)?;
+        Some(lines.swap_remove(idx))
+    }
+
+    /// Conditional gang invalidation of all speculative lines (write set and
+    /// spec-received), as on transaction abort. Returns the dropped line
+    /// addresses.
+    pub fn gang_invalidate_speculative(&mut self) -> Vec<LineAddr> {
+        let mut dropped = Vec::new();
+        for set in &mut self.entries {
+            set.retain(|e| {
+                if e.sm || e.spec_received {
+                    dropped.push(e.addr);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        dropped
+    }
+
+    /// Clears the SM and spec-received bits of every line (transaction
+    /// commit): speculative data becomes the committed, `Modified` version.
+    pub fn commit_speculative(&mut self) {
+        for set in &mut self.entries {
+            for e in set.iter_mut() {
+                if e.sm || e.spec_received {
+                    e.sm = false;
+                    e.spec_received = false;
+                    e.state = CoherenceState::Modified;
+                }
+            }
+        }
+    }
+
+    /// Iterates over all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.iter().flatten()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LineAddr;
+
+    fn cache() -> Cache {
+        Cache::new(2, 2)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = cache();
+        c.insert(LineAddr(0), CoherenceState::Shared, Line::splat(9));
+        let e = c.lookup(LineAddr(0)).unwrap();
+        assert_eq!(e.state, CoherenceState::Shared);
+        assert_eq!(e.data, Line::splat(9));
+    }
+
+    #[test]
+    fn miss_is_none() {
+        assert!(cache().lookup(LineAddr(3)).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = cache();
+        c.insert(LineAddr(0), CoherenceState::Shared, Line::splat(1));
+        let out = c.insert(LineAddr(0), CoherenceState::Modified, Line::splat(2));
+        assert!(matches!(out, EvictOutcome::None));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(LineAddr(0)).unwrap().data, Line::splat(2));
+    }
+
+    #[test]
+    fn eviction_picks_lru() {
+        let mut c = cache();
+        // Lines 0, 2, 4 all map to set 0 of a 2-set cache.
+        c.insert(LineAddr(0), CoherenceState::Shared, Line::zeroed());
+        c.insert(LineAddr(2), CoherenceState::Shared, Line::zeroed());
+        c.lookup_mut(LineAddr(0)); // refresh 0, making 2 the LRU
+        let out = c.insert(LineAddr(4), CoherenceState::Shared, Line::zeroed());
+        match out {
+            EvictOutcome::Evicted(v) => assert_eq!(v.addr, LineAddr(2)),
+            EvictOutcome::None => panic!("expected an eviction"),
+        }
+        assert!(c.lookup(LineAddr(0)).is_some());
+        assert!(c.lookup(LineAddr(4)).is_some());
+    }
+
+    #[test]
+    fn replacement_favours_write_set() {
+        let mut c = cache();
+        c.insert(LineAddr(0), CoherenceState::Modified, Line::zeroed());
+        c.lookup_mut(LineAddr(0)).unwrap().sm = true; // oldest, but in write set
+        c.insert(LineAddr(2), CoherenceState::Shared, Line::zeroed());
+        let out = c.insert(LineAddr(4), CoherenceState::Shared, Line::zeroed());
+        match out {
+            EvictOutcome::Evicted(v) => assert_eq!(v.addr, LineAddr(2), "SM line must survive"),
+            EvictOutcome::None => panic!("expected an eviction"),
+        }
+        assert!(c.lookup(LineAddr(0)).is_some());
+    }
+
+    #[test]
+    fn full_sm_set_still_evicts_something() {
+        let mut c = cache();
+        c.insert(LineAddr(0), CoherenceState::Modified, Line::zeroed());
+        c.lookup_mut(LineAddr(0)).unwrap().sm = true;
+        c.insert(LineAddr(2), CoherenceState::Modified, Line::zeroed());
+        c.lookup_mut(LineAddr(2)).unwrap().sm = true;
+        let out = c.insert(LineAddr(4), CoherenceState::Shared, Line::zeroed());
+        match out {
+            EvictOutcome::Evicted(v) => assert!(v.sm, "victim had to be a write-set line"),
+            EvictOutcome::None => panic!("expected an eviction"),
+        }
+    }
+
+    #[test]
+    fn gang_invalidation_drops_only_speculative() {
+        let mut c = Cache::new(4, 2);
+        c.insert(LineAddr(0), CoherenceState::Modified, Line::zeroed());
+        c.lookup_mut(LineAddr(0)).unwrap().sm = true;
+        c.insert(LineAddr(1), CoherenceState::Shared, Line::zeroed());
+        c.insert(LineAddr(2), CoherenceState::Exclusive, Line::zeroed());
+        c.lookup_mut(LineAddr(2)).unwrap().spec_received = true;
+        let dropped = c.gang_invalidate_speculative();
+        assert_eq!(dropped.len(), 2);
+        assert!(dropped.contains(&LineAddr(0)));
+        assert!(dropped.contains(&LineAddr(2)));
+        assert!(c.lookup(LineAddr(1)).is_some());
+    }
+
+    #[test]
+    fn commit_clears_bits_and_marks_modified() {
+        let mut c = cache();
+        c.insert(LineAddr(0), CoherenceState::Exclusive, Line::splat(3));
+        {
+            let e = c.lookup_mut(LineAddr(0)).unwrap();
+            e.sm = true;
+            e.spec_received = true;
+        }
+        c.commit_speculative();
+        let e = c.lookup(LineAddr(0)).unwrap();
+        assert!(!e.sm && !e.spec_received);
+        assert_eq!(e.state, CoherenceState::Modified);
+        assert_eq!(e.data, Line::splat(3), "commit must not change data");
+    }
+
+    #[test]
+    fn invalidate_returns_entry() {
+        let mut c = cache();
+        c.insert(LineAddr(0), CoherenceState::Modified, Line::splat(4));
+        let gone = c.invalidate(LineAddr(0)).unwrap();
+        assert_eq!(gone.data, Line::splat(4));
+        assert!(c.lookup(LineAddr(0)).is_none());
+        assert!(c.invalidate(LineAddr(0)).is_none());
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(CoherenceState::Modified.is_writable());
+        assert!(CoherenceState::Exclusive.is_writable());
+        assert!(!CoherenceState::Shared.is_writable());
+        assert!(!CoherenceState::Invalid.is_readable());
+        assert!(CoherenceState::Shared.is_readable());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_panics() {
+        Cache::new(0, 1);
+    }
+}

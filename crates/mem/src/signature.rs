@@ -1,0 +1,97 @@
+//! Perfect read-set signature.
+//!
+//! Commercial RTM implementations track read sets that can exceed the
+//! private cache with a hardware signature. Following the paper's
+//! methodology (§VI-B: "we use a perfect signature to track read sets"),
+//! this is a *perfect* — false-positive-free — set of line addresses.
+
+use crate::addr::LineAddr;
+use std::collections::HashSet;
+
+/// An exact set of lines transactionally read by a core.
+///
+/// # Example
+///
+/// ```
+/// use chats_mem::{LineAddr, ReadSignature};
+/// let mut sig = ReadSignature::new();
+/// sig.insert(LineAddr(7));
+/// assert!(sig.contains(LineAddr(7)));
+/// sig.clear();
+/// assert!(sig.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReadSignature {
+    lines: HashSet<LineAddr>,
+}
+
+impl ReadSignature {
+    /// Creates an empty signature.
+    pub fn new() -> ReadSignature {
+        ReadSignature::default()
+    }
+
+    /// Records a transactional read of `line`.
+    pub fn insert(&mut self, line: LineAddr) {
+        self.lines.insert(line);
+    }
+
+    /// Tests membership (conflict check on an incoming exclusive request).
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.lines.contains(&line)
+    }
+
+    /// Empties the signature (commit or abort).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Number of distinct lines read.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` when no reads are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Iterates the recorded lines (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_clear() {
+        let mut s = ReadSignature::new();
+        assert!(s.is_empty());
+        s.insert(LineAddr(1));
+        s.insert(LineAddr(2));
+        s.insert(LineAddr(1)); // duplicate
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(LineAddr(1)));
+        assert!(!s.contains(LineAddr(3)));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut s = ReadSignature::new();
+        for i in 0..10 {
+            s.insert(LineAddr(i));
+        }
+        let mut got: Vec<u64> = s.iter().map(|l| l.index()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,106 @@
+//! Backing store: the committed version of every line.
+//!
+//! Models the folded L2/L3/DRAM level that sits behind the directory. In
+//! the paper's lazy-versioning baseline, the non-speculative value of a line
+//! is written back here *before* its first speculative modification, so an
+//! abort can discard L1 state silently and later requests are serviced with
+//! committed data.
+
+use crate::addr::{Addr, LineAddr};
+use crate::line::Line;
+use std::collections::HashMap;
+
+/// Sparse word-accurate simulated memory.
+///
+/// Untouched lines read as zero, like freshly mapped pages.
+///
+/// # Example
+///
+/// ```
+/// use chats_mem::{Addr, BackingStore};
+/// let mut m = BackingStore::new();
+/// m.write_word(Addr(100), 5);
+/// assert_eq!(m.read_word(Addr(100)), 5);
+/// assert_eq!(m.read_word(Addr(101)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BackingStore {
+    lines: HashMap<LineAddr, Line>,
+}
+
+impl BackingStore {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> BackingStore {
+        BackingStore::default()
+    }
+
+    /// Reads a whole line; absent lines are zero.
+    #[must_use]
+    pub fn read_line(&self, addr: LineAddr) -> Line {
+        self.lines.get(&addr).copied().unwrap_or_else(Line::zeroed)
+    }
+
+    /// Replaces a whole line (a writeback from a private cache).
+    pub fn write_line(&mut self, addr: LineAddr, data: Line) {
+        self.lines.insert(addr, data);
+    }
+
+    /// Reads one word.
+    #[must_use]
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        self.read_line(addr.line()).read(addr)
+    }
+
+    /// Writes one word (read-modify-write of the containing line).
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        let mut line = self.read_line(addr.line());
+        line.write(addr, value);
+        self.lines.insert(addr.line(), line);
+    }
+
+    /// Number of lines ever written.
+    #[must_use]
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_zero() {
+        let m = BackingStore::new();
+        assert_eq!(m.read_word(Addr(12345)), 0);
+        assert_eq!(m.read_line(LineAddr(99)), Line::zeroed());
+    }
+
+    #[test]
+    fn word_write_preserves_neighbours() {
+        let mut m = BackingStore::new();
+        m.write_word(Addr(8), 1);
+        m.write_word(Addr(9), 2);
+        assert_eq!(m.read_word(Addr(8)), 1);
+        assert_eq!(m.read_word(Addr(9)), 2);
+        assert_eq!(m.read_word(Addr(10)), 0);
+    }
+
+    #[test]
+    fn line_write_replaces_whole_line() {
+        let mut m = BackingStore::new();
+        m.write_word(Addr(0), 42);
+        m.write_line(LineAddr(0), Line::splat(7));
+        assert_eq!(m.read_word(Addr(0)), 7);
+        assert_eq!(m.read_word(Addr(7)), 7);
+    }
+
+    #[test]
+    fn touched_lines_counts_distinct() {
+        let mut m = BackingStore::new();
+        m.write_word(Addr(0), 1);
+        m.write_word(Addr(1), 1); // same line
+        m.write_word(Addr(8), 1); // next line
+        assert_eq!(m.touched_lines(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the L1 model against a simple reference map.
+
+use chats_mem::{Addr, Cache, CoherenceState, EvictOutcome, Line, LineAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64), // line, value splat
+    Invalidate(u64),
+    Lookup(u64),
+    MarkSm(u64),
+    GangInvalidate,
+    Commit,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u64..64, any::<u64>()).prop_map(|(l, v)| Op::Insert(l, v)),
+        2 => (0u64..64).prop_map(Op::Invalidate),
+        4 => (0u64..64).prop_map(Op::Lookup),
+        2 => (0u64..64).prop_map(Op::MarkSm),
+        1 => Just(Op::GangInvalidate),
+        1 => Just(Op::Commit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The cache agrees with a reference map on every lookup: a resident
+    /// line always has the last value written for it; a reported eviction
+    /// always removes exactly that victim.
+    #[test]
+    fn cache_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut cache = Cache::new(4, 2);
+        // Reference: line -> (value, sm)
+        let mut reference: HashMap<u64, (u64, bool)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(l, v) => {
+                    match cache.insert(LineAddr(l), CoherenceState::Exclusive, Line::splat(v)) {
+                        EvictOutcome::Evicted(victim) => {
+                            let gone = reference.remove(&victim.addr.index());
+                            prop_assert!(gone.is_some(), "evicted a non-resident line");
+                        }
+                        EvictOutcome::None => {}
+                    }
+                    reference.insert(l, (v, reference.get(&l).map(|e| e.1).unwrap_or(false)));
+                }
+                Op::Invalidate(l) => {
+                    let got = cache.invalidate(LineAddr(l)).is_some();
+                    let expect = reference.remove(&l).is_some();
+                    prop_assert_eq!(got, expect);
+                }
+                Op::Lookup(l) => {
+                    match (cache.lookup(LineAddr(l)), reference.get(&l)) {
+                        (Some(e), Some((v, _))) => {
+                            prop_assert_eq!(e.data.read(Addr(0)), *v);
+                        }
+                        (None, None) => {}
+                        (got, want) => {
+                            prop_assert!(false, "residency mismatch on {l}: cache={:?} ref={:?}",
+                                got.map(|e| e.addr), want);
+                        }
+                    }
+                }
+                Op::MarkSm(l) => {
+                    if let Some(e) = cache.lookup_mut(LineAddr(l)) {
+                        e.sm = true;
+                    }
+                    if let Some(r) = reference.get_mut(&l) {
+                        r.1 = true;
+                    }
+                }
+                Op::GangInvalidate => {
+                    let dropped = cache.gang_invalidate_speculative();
+                    for d in &dropped {
+                        let r = reference.remove(&d.index());
+                        prop_assert!(matches!(r, Some((_, true))),
+                            "gang invalidation dropped a non-speculative line");
+                    }
+                    // Nothing speculative may survive.
+                    prop_assert!(reference.values().all(|(_, sm)| !sm));
+                }
+                Op::Commit => {
+                    cache.commit_speculative();
+                    for r in reference.values_mut() {
+                        r.1 = false;
+                    }
+                }
+            }
+            // Geometry invariant: never more than ways lines per set.
+            prop_assert!(cache.len() <= cache.sets() * cache.ways());
+            prop_assert_eq!(cache.len(), reference.len());
+        }
+    }
+
+    /// Speculative lines are never silently lost: as long as every insert
+    /// into a set with speculative lines leaves at least one non-SM way,
+    /// the SM lines survive all traffic.
+    #[test]
+    fn write_set_lines_are_sticky(
+        sm_line in 0u64..4,
+        clean_lines in proptest::collection::vec(0u64..32, 1..40),
+    ) {
+        let mut cache = Cache::new(4, 2);
+        cache.insert(LineAddr(sm_line), CoherenceState::Modified, Line::splat(1));
+        cache.lookup_mut(LineAddr(sm_line)).unwrap().sm = true;
+        for l in clean_lines {
+            // Never collide exactly with the SM line.
+            let l = if l == sm_line { l + 32 } else { l };
+            cache.insert(LineAddr(l), CoherenceState::Shared, Line::zeroed());
+            prop_assert!(
+                cache.lookup(LineAddr(sm_line)).is_some(),
+                "SM line displaced by a clean fill"
+            );
+        }
+    }
+}

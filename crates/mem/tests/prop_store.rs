@@ -1,0 +1,73 @@
+//! Property tests for the backing store against a plain map reference,
+//! exercising the word/line aliasing that the machine's writeback paths
+//! depend on.
+
+use chats_mem::{Addr, BackingStore, Line, LineAddr, WORDS_PER_LINE};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    WriteWord(u64, u64),
+    WriteLine(u64, u64), // line, splat value
+    ReadWord(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..256, any::<u64>()).prop_map(|(a, v)| Op::WriteWord(a, v)),
+        2 => (0u64..32, any::<u64>()).prop_map(|(l, v)| Op::WriteLine(l, v)),
+        4 => (0u64..256).prop_map(Op::ReadWord),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Word writes, line writes and reads agree with a word-granular
+    /// reference map at all times.
+    #[test]
+    fn store_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut store = BackingStore::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::WriteWord(a, v) => {
+                    store.write_word(Addr(a), v);
+                    reference.insert(a, v);
+                }
+                Op::WriteLine(l, v) => {
+                    store.write_line(LineAddr(l), Line::splat(v));
+                    for w in 0..WORDS_PER_LINE {
+                        reference.insert(l * WORDS_PER_LINE + w, v);
+                    }
+                }
+                Op::ReadWord(a) => {
+                    let got = store.read_word(Addr(a));
+                    let want = reference.get(&a).copied().unwrap_or(0);
+                    prop_assert_eq!(got, want, "word {}", a);
+                }
+            }
+        }
+        // Full sweep at the end.
+        for a in 0..256u64 {
+            prop_assert_eq!(
+                store.read_word(Addr(a)),
+                reference.get(&a).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    /// Line reads reassemble exactly the words written.
+    #[test]
+    fn line_read_reassembles_words(line in 0u64..64, values in proptest::collection::vec(any::<u64>(), 8)) {
+        let mut store = BackingStore::new();
+        for (w, v) in values.iter().enumerate() {
+            store.write_word(Addr(line * WORDS_PER_LINE + w as u64), *v);
+        }
+        let l = store.read_line(LineAddr(line));
+        for (w, v) in values.iter().enumerate() {
+            prop_assert_eq!(l.read(Addr(w as u64)), *v);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the crossbar interconnect.
+
+use chats_noc::{Crossbar, MsgClass, NodeId};
+use chats_sim::{Cycle, NocConfig};
+use proptest::prelude::*;
+
+fn class_strategy() -> impl Strategy<Value = MsgClass> {
+    prop_oneof![Just(MsgClass::Control), Just(MsgClass::Data)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Messages from the same source never overtake each other: arrival
+    /// times are strictly increasing for monotone injections.
+    #[test]
+    fn same_source_preserves_order(
+        msgs in proptest::collection::vec((class_strategy(), 0u64..5), 1..60),
+    ) {
+        let mut x = Crossbar::new(NocConfig::default(), 3);
+        let mut now = 0u64;
+        let mut last_arrival = Cycle::ZERO;
+        for (class, gap) in msgs {
+            now += gap;
+            let arrive = x.send(Cycle(now), NodeId(0), NodeId(2), class);
+            prop_assert!(arrive > last_arrival,
+                "message injected at {now} arrived at {arrive:?}, not after {last_arrival:?}");
+            last_arrival = arrive;
+        }
+    }
+
+    /// Flit conservation: the total flit count equals the sum of per-class
+    /// message counts times their sizes.
+    #[test]
+    fn flit_accounting_balances(
+        msgs in proptest::collection::vec((class_strategy(), 0usize..4, 0usize..4), 1..80),
+    ) {
+        let cfg = NocConfig::default();
+        let mut x = Crossbar::new(cfg, 4);
+        for (class, src, dst) in msgs {
+            x.send(Cycle(0), NodeId(src), NodeId(dst), class);
+        }
+        let expect = x.control_messages() * cfg.control_flits
+            + x.data_messages() * cfg.data_flits;
+        prop_assert_eq!(x.flits_sent(), expect);
+    }
+
+    /// Latency lower bound: no message arrives sooner than its
+    /// serialization plus link latency.
+    #[test]
+    fn latency_has_a_floor(
+        at in 0u64..10_000,
+        class in class_strategy(),
+    ) {
+        let cfg = NocConfig::default();
+        let mut x = Crossbar::new(cfg, 2);
+        let arrive = x.send(Cycle(at), NodeId(0), NodeId(1), class);
+        let floor = x.flits_of(class) + cfg.link_latency;
+        prop_assert!(arrive.0 >= at + floor);
+    }
+
+    /// Distinct sources never interfere: a burst from node 1 does not
+    /// delay node 0's message.
+    #[test]
+    fn crossbar_is_non_blocking_across_sources(
+        burst in 1usize..20,
+    ) {
+        let cfg = NocConfig::default();
+        let mut quiet = Crossbar::new(cfg, 3);
+        let baseline = quiet.send(Cycle(0), NodeId(0), NodeId(2), MsgClass::Data);
+
+        let mut busy = Crossbar::new(cfg, 3);
+        for _ in 0..burst {
+            busy.send(Cycle(0), NodeId(1), NodeId(2), MsgClass::Data);
+        }
+        let under_load = busy.send(Cycle(0), NodeId(0), NodeId(2), MsgClass::Data);
+        prop_assert_eq!(baseline, under_load);
+    }
+}

@@ -1,0 +1,247 @@
+//! Simulation time and the deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// `Cycle` is a transparent wrapper over `u64` used everywhere a timestamp or
+/// duration is exchanged, so that cycle counts cannot be accidentally mixed
+/// with other integers (entry counts, addresses, ...).
+///
+/// # Example
+///
+/// ```
+/// use chats_sim::Cycle;
+/// let start = Cycle(100);
+/// assert_eq!(start + 30, Cycle(130));
+/// assert_eq!((Cycle(130) - start), 30);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero; the instant simulation starts.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Cycles elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    #[must_use]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// A discrete-event priority queue with deterministic FIFO tie-breaking.
+///
+/// Events scheduled for the same [`Cycle`] are delivered in the order they
+/// were pushed. This makes whole-machine simulations reproducible: with a
+/// fixed seed, every run produces an identical event schedule.
+///
+/// # Example
+///
+/// ```
+/// use chats_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'b');
+/// q.push(Cycle(1), 'a');
+/// q.push(Cycle(3), 'c');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` for delivery at `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty. Ties are broken by insertion order.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle(7);
+        assert_eq!(c + 3, Cycle(10));
+        assert_eq!(Cycle(10) - c, 3);
+        let mut m = Cycle(1);
+        m += 4;
+        assert_eq!(m, Cycle(5));
+    }
+
+    #[test]
+    fn cycle_since_saturates() {
+        assert_eq!(Cycle(5).since(Cycle(9)), 0);
+        assert_eq!(Cycle(9).since(Cycle(5)), 4);
+    }
+
+    #[test]
+    fn cycle_min_max() {
+        assert_eq!(Cycle(3).max(Cycle(8)), Cycle(8));
+        assert_eq!(Cycle(3).min(Cycle(8)), Cycle(3));
+    }
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(42), i)));
+        }
+    }
+
+    #[test]
+    fn queue_peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle(9), ());
+        q.push(Cycle(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle(4)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Cycle(9)));
+    }
+
+    #[test]
+    fn queue_interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), "a");
+        q.push(Cycle(1), "b");
+        assert_eq!(q.pop(), Some((Cycle(1), "b")));
+        q.push(Cycle(2), "c");
+        q.push(Cycle(5), "d");
+        assert_eq!(q.pop(), Some((Cycle(2), "c")));
+        assert_eq!(q.pop(), Some((Cycle(5), "a")));
+        assert_eq!(q.pop(), Some((Cycle(5), "d")));
+    }
+}

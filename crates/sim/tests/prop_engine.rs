@@ -1,0 +1,66 @@
+//! Property tests for the simulation engine.
+
+use chats_sim::{Cycle, EventQueue, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Popping the queue yields events in non-decreasing time order, and
+    /// equal-time events in insertion order — against a stable-sort
+    /// reference.
+    #[test]
+    fn queue_matches_stable_sort(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle(t), i);
+        }
+        let mut reference: Vec<(u64, usize)> =
+            times.iter().copied().zip(0..).collect();
+        reference.sort_by_key(|&(t, _)| t); // stable: ties keep index order
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.0, i));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Interleaved push/pop never reorders: whatever is popped is the
+    /// minimum of everything currently inside.
+    #[test]
+    fn pop_is_always_minimum(ops in proptest::collection::vec((0u64..100, any::<bool>()), 1..200)) {
+        let mut q = EventQueue::new();
+        let mut inside: Vec<u64> = Vec::new();
+        for (t, is_push) in ops {
+            if is_push || inside.is_empty() {
+                q.push(Cycle(t), ());
+                inside.push(t);
+            } else {
+                let (got, ()) = q.pop().unwrap();
+                let min = *inside.iter().min().unwrap();
+                prop_assert_eq!(got.0, min);
+                let idx = inside.iter().position(|&x| x == min).unwrap();
+                inside.swap_remove(idx);
+            }
+        }
+    }
+
+    /// The RNG is a pure function of its seed.
+    #[test]
+    fn rng_is_deterministic(seed in any::<u64>(), n in 1usize..100) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Bounded sampling stays in bounds for arbitrary bounds.
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut r = SimRng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+}

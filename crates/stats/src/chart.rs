@@ -1,0 +1,138 @@
+//! Horizontal ASCII bar charts for figure output.
+//!
+//! The paper's figures are bar charts; the `figures` binary can render its
+//! normalized series as bars so shapes are visible directly in a terminal.
+
+use std::fmt;
+
+/// A horizontal bar chart of labelled values.
+///
+/// # Example
+///
+/// ```
+/// use chats_stats::BarChart;
+/// let mut c = BarChart::new("normalized time", 20);
+/// c.bar("baseline", 1.0);
+/// c.bar("CHATS", 0.5);
+/// let s = c.to_string();
+/// assert!(s.contains("CHATS"));
+/// assert!(s.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// A chart titled `title` whose largest bar spans `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(title: &str, width: usize) -> BarChart {
+        assert!(width > 0, "chart width must be positive");
+        BarChart {
+            title: title.to_string(),
+            width,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled bar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut BarChart {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar value must be a non-negative finite number, got {value}"
+        );
+        self.bars.push((label.to_string(), value));
+        self
+    }
+
+    /// Number of bars.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// `true` when the chart has no bars.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.bars {
+            let n = ((value / max) * self.width as f64).round() as usize;
+            writeln!(
+                f,
+                "{label:<label_w$}  {:<width$}  {value:.3}",
+                "#".repeat(n),
+                width = self.width
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_bar_fills_width() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("a", 2.0).bar("b", 1.0);
+        let s = c.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].matches('#').count(), 10);
+        assert_eq!(lines[2].matches('#').count(), 5);
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let mut c = BarChart::new("t", 8);
+        c.bar("z", 0.0);
+        assert_eq!(c.to_string().matches('#').count(), 0);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut c = BarChart::new("t", 4);
+        c.bar("x", 1.0).bar("longer", 1.0);
+        let s = c.to_string();
+        for line in s.lines().skip(1) {
+            assert!(line.contains("####"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_value_panics() {
+        BarChart::new("t", 4).bar("x", -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = BarChart::new("t", 0);
+    }
+}

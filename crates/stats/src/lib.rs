@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Statistics, normalization and table rendering.
+//!
+//! The timing machine fills a [`RunStats`] per simulation; the benchmark
+//! harness post-processes collections of them into the paper's tables and
+//! figures with the helpers in [`summary`] and renders them with
+//! [`table::Table`].
+
+pub mod chart;
+pub mod run;
+pub mod summary;
+pub mod table;
+
+pub use chart::BarChart;
+pub use run::{RunStats, TxOutcomeCounts};
+pub use summary::{amean, gmean, normalize, normalize_to};
+pub use table::Table;

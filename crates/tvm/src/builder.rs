@@ -1,0 +1,332 @@
+//! Assembler / builder DSL for TxVM programs.
+//!
+//! Labels are forward-referenceable: create them with
+//! [`ProgramBuilder::label`], jump to them before or after binding them
+//! with [`ProgramBuilder::bind`]. [`ProgramBuilder::build`] resolves all
+//! fixups and verifies every label was bound.
+
+use crate::inst::{Inst, Program, Reg};
+
+/// A branch target, possibly not yet bound to a position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental TxVM program assembler.
+///
+/// # Example
+///
+/// ```
+/// use chats_tvm::{ProgramBuilder, Reg};
+///
+/// // for i in 0..10 { mem[i] = i }
+/// let mut b = ProgramBuilder::new();
+/// let (i, ten) = (Reg(0), Reg(1));
+/// b.imm(i, 0).imm(ten, 10);
+/// let top = b.label();
+/// b.bind(top);
+/// b.store(i, i);
+/// b.addi(i, i, 1);
+/// b.blt(i, ten, top);
+/// b.halt();
+/// let prog = b.build();
+/// assert!(prog.len() > 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// A fresh, empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Creates a new, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_branch(&mut self, inst: Inst, target: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), target));
+        self.insts.push(inst);
+        self
+    }
+
+    /// `dst = imm`
+    pub fn imm(&mut self, dst: Reg, v: u64) -> &mut Self {
+        self.push(Inst::Imm(dst, v))
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Inst::Mov(dst, src))
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Add(dst, a, b))
+    }
+
+    /// `dst = a + imm`
+    pub fn addi(&mut self, dst: Reg, a: Reg, v: u64) -> &mut Self {
+        self.push(Inst::AddI(dst, a, v))
+    }
+
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Sub(dst, a, b))
+    }
+
+    /// `dst = a * b`
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Mul(dst, a, b))
+    }
+
+    /// `dst = a * imm`
+    pub fn muli(&mut self, dst: Reg, a: Reg, v: u64) -> &mut Self {
+        self.push(Inst::MulI(dst, a, v))
+    }
+
+    /// `dst = a / imm`
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == 0`.
+    pub fn divi(&mut self, dst: Reg, a: Reg, v: u64) -> &mut Self {
+        assert!(v != 0, "division by zero immediate");
+        self.push(Inst::DivI(dst, a, v))
+    }
+
+    /// `dst = a % imm`
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == 0`.
+    pub fn remi(&mut self, dst: Reg, a: Reg, v: u64) -> &mut Self {
+        assert!(v != 0, "remainder by zero immediate");
+        self.push(Inst::RemI(dst, a, v))
+    }
+
+    /// `dst = a & imm`
+    pub fn andi(&mut self, dst: Reg, a: Reg, v: u64) -> &mut Self {
+        self.push(Inst::AndI(dst, a, v))
+    }
+
+    /// `dst = a ^ b`
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Inst::Xor(dst, a, b))
+    }
+
+    /// `dst = a << imm`
+    pub fn shli(&mut self, dst: Reg, a: Reg, v: u32) -> &mut Self {
+        self.push(Inst::ShlI(dst, a, v))
+    }
+
+    /// `dst = a >> imm`
+    pub fn shri(&mut self, dst: Reg, a: Reg, v: u32) -> &mut Self {
+        self.push(Inst::ShrI(dst, a, v))
+    }
+
+    /// `dst = random below bound_reg`
+    pub fn rand(&mut self, dst: Reg, bound: Reg) -> &mut Self {
+        self.push(Inst::Rand(dst, bound))
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.push_branch(Inst::Jmp(usize::MAX), target)
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Inst::Beq(a, b, usize::MAX), target)
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Inst::Bne(a, b, usize::MAX), target)
+    }
+
+    /// Branch if less than (unsigned).
+    pub fn blt(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Inst::Blt(a, b, usize::MAX), target)
+    }
+
+    /// Branch if greater or equal (unsigned).
+    pub fn bge(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.push_branch(Inst::Bge(a, b, usize::MAX), target)
+    }
+
+    /// `dst = mem[addr]`
+    pub fn load(&mut self, dst: Reg, addr: Reg) -> &mut Self {
+        self.push(Inst::Load(dst, addr))
+    }
+
+    /// `mem[addr] = val`
+    pub fn store(&mut self, addr: Reg, val: Reg) -> &mut Self {
+        self.push(Inst::Store(addr, val))
+    }
+
+    /// Transaction begin marker.
+    pub fn tx_begin(&mut self) -> &mut Self {
+        self.push(Inst::TxBegin)
+    }
+
+    /// Transaction end (commit) marker.
+    pub fn tx_end(&mut self) -> &mut Self {
+        self.push(Inst::TxEnd)
+    }
+
+    /// Non-memory work of `cycles` cycles.
+    pub fn pause(&mut self, cycles: u64) -> &mut Self {
+        self.push(Inst::Pause(cycles))
+    }
+
+    /// Thread end.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Current instruction count (useful for size assertions in tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resolves labels and produces the immutable [`Program`]. A trailing
+    /// `Halt` is appended if the program does not end with one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn build(mut self) -> Program {
+        if !matches!(self.insts.last(), Some(Inst::Halt)) {
+            self.insts.push(Inst::Halt);
+        }
+        for (pos, label) in self.fixups {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {label:?} referenced but never bound"));
+            self.insts[pos] = match self.insts[pos] {
+                Inst::Jmp(_) => Inst::Jmp(target),
+                Inst::Beq(a, b, _) => Inst::Beq(a, b, target),
+                Inst::Bne(a, b, _) => Inst::Bne(a, b, target),
+                Inst::Blt(a, b, _) => Inst::Blt(a, b, target),
+                Inst::Bge(a, b, _) => Inst::Bge(a, b, target),
+                other => unreachable!("fixup on non-branch {other:?}"),
+            };
+        }
+        Program::from_insts(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_resolves() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.jmp(end);
+        b.imm(Reg(0), 1); // skipped
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fetch(0), Inst::Jmp(2));
+    }
+
+    #[test]
+    fn backward_label_resolves() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.imm(Reg(0), 1);
+        b.jmp(top);
+        let p = b.build();
+        assert_eq!(p.fetch(1), Inst::Jmp(0));
+    }
+
+    #[test]
+    fn halt_is_appended() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 1);
+        let p = b.build();
+        assert_eq!(p.fetch(p.len() - 1), Inst::Halt);
+    }
+
+    #[test]
+    fn explicit_halt_not_duplicated() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        assert_eq!(b.build().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_rejected_at_build() {
+        let mut b = ProgramBuilder::new();
+        b.divi(Reg(0), Reg(0), 0);
+    }
+
+    #[test]
+    fn all_branch_kinds_fix_up() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.beq(Reg(0), Reg(1), l);
+        b.bne(Reg(0), Reg(1), l);
+        b.blt(Reg(0), Reg(1), l);
+        b.bge(Reg(0), Reg(1), l);
+        let p = b.build();
+        assert_eq!(p.fetch(0), Inst::Beq(Reg(0), Reg(1), 0));
+        assert_eq!(p.fetch(1), Inst::Bne(Reg(0), Reg(1), 0));
+        assert_eq!(p.fetch(2), Inst::Blt(Reg(0), Reg(1), 0));
+        assert_eq!(p.fetch(3), Inst::Bge(Reg(0), Reg(1), 0));
+    }
+}

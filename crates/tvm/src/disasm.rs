@@ -1,0 +1,141 @@
+//! Disassembler: human-readable listings of TxVM programs.
+
+use crate::inst::{Inst, Program};
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Imm(d, v) => write!(f, "imm   {d}, {v}"),
+            Inst::Mov(d, s) => write!(f, "mov   {d}, {s}"),
+            Inst::Add(d, a, b) => write!(f, "add   {d}, {a}, {b}"),
+            Inst::AddI(d, a, v) => write!(f, "addi  {d}, {a}, {v}"),
+            Inst::Sub(d, a, b) => write!(f, "sub   {d}, {a}, {b}"),
+            Inst::Mul(d, a, b) => write!(f, "mul   {d}, {a}, {b}"),
+            Inst::MulI(d, a, v) => write!(f, "muli  {d}, {a}, {v}"),
+            Inst::DivI(d, a, v) => write!(f, "divi  {d}, {a}, {v}"),
+            Inst::RemI(d, a, v) => write!(f, "remi  {d}, {a}, {v}"),
+            Inst::AndI(d, a, v) => write!(f, "andi  {d}, {a}, {v:#x}"),
+            Inst::Xor(d, a, b) => write!(f, "xor   {d}, {a}, {b}"),
+            Inst::ShlI(d, a, v) => write!(f, "shli  {d}, {a}, {v}"),
+            Inst::ShrI(d, a, v) => write!(f, "shri  {d}, {a}, {v}"),
+            Inst::Rand(d, b) => write!(f, "rand  {d}, {b}"),
+            Inst::Jmp(t) => write!(f, "jmp   @{t}"),
+            Inst::Beq(a, b, t) => write!(f, "beq   {a}, {b}, @{t}"),
+            Inst::Bne(a, b, t) => write!(f, "bne   {a}, {b}, @{t}"),
+            Inst::Blt(a, b, t) => write!(f, "blt   {a}, {b}, @{t}"),
+            Inst::Bge(a, b, t) => write!(f, "bge   {a}, {b}, @{t}"),
+            Inst::Load(d, a) => write!(f, "load  {d}, [{a}]"),
+            Inst::Store(a, v) => write!(f, "store [{a}], {v}"),
+            Inst::TxBegin => write!(f, "tx.begin"),
+            Inst::TxEnd => write!(f, "tx.end"),
+            Inst::Pause(c) => write!(f, "pause {c}"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl Program {
+    /// A full listing with instruction indices and branch-target markers,
+    /// for debugging workload kernels.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use chats_tvm::{ProgramBuilder, Reg};
+    /// let mut b = ProgramBuilder::new();
+    /// b.imm(Reg(0), 7);
+    /// b.tx_begin();
+    /// b.store(Reg(0), Reg(0));
+    /// b.tx_end();
+    /// let listing = b.build().disassemble();
+    /// assert!(listing.contains("tx.begin"));
+    /// assert!(listing.contains("store [r0], r0"));
+    /// ```
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::collections::HashSet;
+        use std::fmt::Write as _;
+        let targets: HashSet<usize> = self
+            .instructions()
+            .iter()
+            .filter_map(|i| match *i {
+                Inst::Jmp(t)
+                | Inst::Beq(_, _, t)
+                | Inst::Bne(_, _, t)
+                | Inst::Blt(_, _, t)
+                | Inst::Bge(_, _, t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        let mut out = String::new();
+        for (pc, inst) in self.instructions().iter().enumerate() {
+            let mark = if targets.contains(&pc) { ">" } else { " " };
+            let _ = writeln!(out, "{mark}{pc:>4}: {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::Reg;
+
+    #[test]
+    fn every_instruction_kind_renders() {
+        let insts = [
+            Inst::Imm(Reg(0), 1),
+            Inst::Mov(Reg(0), Reg(1)),
+            Inst::Add(Reg(0), Reg(1), Reg(2)),
+            Inst::AddI(Reg(0), Reg(1), 3),
+            Inst::Sub(Reg(0), Reg(1), Reg(2)),
+            Inst::Mul(Reg(0), Reg(1), Reg(2)),
+            Inst::MulI(Reg(0), Reg(1), 3),
+            Inst::DivI(Reg(0), Reg(1), 3),
+            Inst::RemI(Reg(0), Reg(1), 3),
+            Inst::AndI(Reg(0), Reg(1), 0xff),
+            Inst::Xor(Reg(0), Reg(1), Reg(2)),
+            Inst::ShlI(Reg(0), Reg(1), 3),
+            Inst::ShrI(Reg(0), Reg(1), 3),
+            Inst::Rand(Reg(0), Reg(1)),
+            Inst::Jmp(9),
+            Inst::Beq(Reg(0), Reg(1), 9),
+            Inst::Bne(Reg(0), Reg(1), 9),
+            Inst::Blt(Reg(0), Reg(1), 9),
+            Inst::Bge(Reg(0), Reg(1), 9),
+            Inst::Load(Reg(0), Reg(1)),
+            Inst::Store(Reg(0), Reg(1)),
+            Inst::TxBegin,
+            Inst::TxEnd,
+            Inst::Pause(5),
+            Inst::Halt,
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn branch_targets_are_marked() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.imm(Reg(0), 1);
+        b.bind(top);
+        b.addi(Reg(0), Reg(0), 1);
+        b.jmp(top);
+        let listing = b.build().disassemble();
+        let lines: Vec<&str> = listing.lines().collect();
+        assert!(lines[1].starts_with('>'), "target line marked: {listing}");
+        assert!(lines[0].starts_with(' '));
+    }
+
+    #[test]
+    fn listing_has_one_line_per_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 1).imm(Reg(1), 2);
+        let p = b.build();
+        assert_eq!(p.disassemble().lines().count(), p.len());
+    }
+}

@@ -1,0 +1,417 @@
+//! The TxVM interpreter.
+
+use crate::inst::{Inst, Program, Reg, NUM_REGS};
+use chats_mem::Addr;
+use chats_sim::SimRng;
+
+/// What the VM needs from the outside world to make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmEvent {
+    /// `cycles` of core-local work were consumed; call [`Vm::step`] again
+    /// afterwards.
+    Compute(u64),
+    /// The VM is paused on a load of `Addr`; resume with
+    /// [`Vm::complete_load`].
+    Load(Addr),
+    /// The VM is paused on a store of the value to `Addr`; resume with
+    /// [`Vm::complete_store`].
+    Store(Addr, u64),
+    /// A `TxBegin` marker was reached (the HTM engine decides what happens;
+    /// the VM has already advanced past it).
+    TxBegin,
+    /// A `TxEnd` marker was reached.
+    TxEnd,
+    /// The program finished.
+    Halted,
+}
+
+/// Resumable snapshot of the architectural state, captured at `TxBegin` so
+/// aborts can re-execute the transaction body.
+#[derive(Debug, Clone)]
+pub struct VmSnapshot {
+    pc: usize,
+    regs: [u64; NUM_REGS],
+}
+
+impl VmSnapshot {
+    /// The program counter captured in this snapshot. Stable across
+    /// attempts of the same transaction, so it doubles as a static
+    /// transaction-site identifier.
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+}
+
+/// One hardware thread's interpreter state.
+///
+/// See the [crate docs](crate) for the stepping protocol.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    program: Program,
+    pc: usize,
+    regs: [u64; NUM_REGS],
+    pending: Option<Pending>,
+    halted: bool,
+    rng: SimRng,
+    retired: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    Load(Reg),
+    Store,
+}
+
+impl Vm {
+    /// Creates a VM at the start of `program`, with its own random stream
+    /// derived from `seed`. All registers start at zero.
+    #[must_use]
+    pub fn new(program: Program, seed: u64) -> Vm {
+        Vm {
+            program,
+            pc: 0,
+            regs: [0; NUM_REGS],
+            pending: None,
+            halted: false,
+            rng: SimRng::seed_from(seed),
+            retired: 0,
+        }
+    }
+
+    /// Pre-loads a register before execution starts (thread id, base
+    /// addresses, ...).
+    pub fn preset_reg(&mut self, reg: Reg, value: u64) {
+        self.regs[reg.idx()] = value;
+    }
+
+    /// Reads a register (for tests and workload invariant checks).
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.idx()]
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// `true` once `Halt` has been reached.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Captures the architectural state for transactional rollback.
+    ///
+    /// Note the captured `pc` points at the instruction *after* the
+    /// `TxBegin` when taken right after the [`VmEvent::TxBegin`] event, so
+    /// restoring re-runs the transaction body, not the marker.
+    #[must_use]
+    pub fn snapshot(&self) -> VmSnapshot {
+        VmSnapshot {
+            pc: self.pc,
+            regs: self.regs,
+        }
+    }
+
+    /// Rolls back to a snapshot (transaction abort). Clears any pending
+    /// memory operation and un-halts the VM — the snapshot's program
+    /// counter determines what executes next.
+    pub fn restore(&mut self, snap: &VmSnapshot) {
+        self.pc = snap.pc;
+        self.regs = snap.regs;
+        self.pending = None;
+        self.halted = false;
+    }
+
+    /// Delivers the value of the load the VM is paused on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not paused on a load.
+    pub fn complete_load(&mut self, value: u64) {
+        match self.pending.take() {
+            Some(Pending::Load(dst)) => {
+                self.regs[dst.idx()] = value;
+                self.retired += 1;
+            }
+            other => panic!("complete_load while pending = {other:?}"),
+        }
+    }
+
+    /// Acknowledges the store the VM is paused on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not paused on a store.
+    pub fn complete_store(&mut self) {
+        match self.pending.take() {
+            Some(Pending::Store) => self.retired += 1,
+            other => panic!("complete_store while pending = {other:?}"),
+        }
+    }
+
+    /// Executes until the next externally visible event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a memory operation is pending (the caller
+    /// must complete it first), or after `Halted` was returned.
+    pub fn step(&mut self) -> VmEvent {
+        assert!(self.pending.is_none(), "step while a memory op is pending");
+        if self.halted {
+            return VmEvent::Halted;
+        }
+        let inst = self.program.fetch(self.pc);
+        self.pc += 1;
+        match inst {
+            Inst::Imm(d, v) => self.alu(|r| r[d.idx()] = v),
+            Inst::Mov(d, s) => self.alu(|r| r[d.idx()] = r[s.idx()]),
+            Inst::Add(d, a, b) => self.alu(|r| r[d.idx()] = r[a.idx()].wrapping_add(r[b.idx()])),
+            Inst::AddI(d, a, v) => self.alu(|r| r[d.idx()] = r[a.idx()].wrapping_add(v)),
+            Inst::Sub(d, a, b) => self.alu(|r| r[d.idx()] = r[a.idx()].wrapping_sub(r[b.idx()])),
+            Inst::Mul(d, a, b) => self.alu(|r| r[d.idx()] = r[a.idx()].wrapping_mul(r[b.idx()])),
+            Inst::MulI(d, a, v) => self.alu(|r| r[d.idx()] = r[a.idx()].wrapping_mul(v)),
+            Inst::DivI(d, a, v) => self.alu(|r| r[d.idx()] = r[a.idx()] / v),
+            Inst::RemI(d, a, v) => self.alu(|r| r[d.idx()] = r[a.idx()] % v),
+            Inst::AndI(d, a, v) => self.alu(|r| r[d.idx()] = r[a.idx()] & v),
+            Inst::Xor(d, a, b) => self.alu(|r| r[d.idx()] = r[a.idx()] ^ r[b.idx()]),
+            Inst::ShlI(d, a, v) => self.alu(|r| r[d.idx()] = r[a.idx()] << v),
+            Inst::ShrI(d, a, v) => self.alu(|r| r[d.idx()] = r[a.idx()] >> v),
+            Inst::Rand(d, bound) => {
+                let b = self.regs[bound.idx()].max(1);
+                let v = self.rng.below(b);
+                self.regs[d.idx()] = v;
+                self.retired += 1;
+                VmEvent::Compute(1)
+            }
+            Inst::Jmp(t) => {
+                self.pc = t;
+                self.retired += 1;
+                VmEvent::Compute(1)
+            }
+            Inst::Beq(a, b, t) => self.branch(t, self.regs[a.idx()] == self.regs[b.idx()]),
+            Inst::Bne(a, b, t) => self.branch(t, self.regs[a.idx()] != self.regs[b.idx()]),
+            Inst::Blt(a, b, t) => self.branch(t, self.regs[a.idx()] < self.regs[b.idx()]),
+            Inst::Bge(a, b, t) => self.branch(t, self.regs[a.idx()] >= self.regs[b.idx()]),
+            Inst::Load(d, addr) => {
+                self.pending = Some(Pending::Load(d));
+                VmEvent::Load(Addr(self.regs[addr.idx()]))
+            }
+            Inst::Store(addr, val) => {
+                self.pending = Some(Pending::Store);
+                VmEvent::Store(Addr(self.regs[addr.idx()]), self.regs[val.idx()])
+            }
+            Inst::TxBegin => {
+                self.retired += 1;
+                VmEvent::TxBegin
+            }
+            Inst::TxEnd => {
+                self.retired += 1;
+                VmEvent::TxEnd
+            }
+            Inst::Pause(c) => {
+                self.retired += 1;
+                VmEvent::Compute(c)
+            }
+            Inst::Halt => {
+                self.halted = true;
+                self.pc -= 1; // stay on Halt
+                VmEvent::Halted
+            }
+        }
+    }
+
+    fn alu(&mut self, f: impl FnOnce(&mut [u64; NUM_REGS])) -> VmEvent {
+        f(&mut self.regs);
+        self.retired += 1;
+        VmEvent::Compute(1)
+    }
+
+    fn branch(&mut self, target: usize, taken: bool) -> VmEvent {
+        if taken {
+            self.pc = target;
+        }
+        self.retired += 1;
+        VmEvent::Compute(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    /// Runs a VM to completion against a flat test memory, returning the
+    /// memory. Panics after `fuel` events to catch infinite loops.
+    fn run(vm: &mut Vm, mem: &mut Vec<u64>, mut fuel: u64) {
+        loop {
+            fuel = fuel.checked_sub(1).expect("out of fuel: runaway program");
+            match vm.step() {
+                VmEvent::Compute(_) | VmEvent::TxBegin | VmEvent::TxEnd => {}
+                VmEvent::Load(a) => {
+                    let v = mem.get(a.0 as usize).copied().unwrap_or(0);
+                    vm.complete_load(v);
+                }
+                VmEvent::Store(a, v) => {
+                    let i = a.0 as usize;
+                    if mem.len() <= i {
+                        mem.resize(i + 1, 0);
+                    }
+                    mem[i] = v;
+                    vm.complete_store();
+                }
+                VmEvent::Halted => return,
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 6).imm(Reg(1), 7);
+        b.mul(Reg(2), Reg(0), Reg(1));
+        b.addi(Reg(2), Reg(2), 8);
+        b.divi(Reg(3), Reg(2), 10);
+        b.remi(Reg(4), Reg(2), 10);
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        run(&mut vm, &mut Vec::new(), 100);
+        assert_eq!(vm.reg(Reg(2)), 50);
+        assert_eq!(vm.reg(Reg(3)), 5);
+        assert_eq!(vm.reg(Reg(4)), 0);
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        // mem[i] = i for i in 0..8; then sum them.
+        let mut b = ProgramBuilder::new();
+        let (i, n, sum, tmp) = (Reg(0), Reg(1), Reg(2), Reg(3));
+        b.imm(i, 0).imm(n, 8).imm(sum, 0);
+        let top = b.label();
+        b.bind(top);
+        b.store(i, i);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        // second loop: sum
+        b.imm(i, 0);
+        let top2 = b.label();
+        b.bind(top2);
+        b.load(tmp, i);
+        b.add(sum, sum, tmp);
+        b.addi(i, i, 1);
+        b.blt(i, n, top2);
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        let mut mem = Vec::new();
+        run(&mut vm, &mut mem, 1000);
+        assert_eq!(vm.reg(Reg(2)), 28);
+        assert_eq!(mem[..8], [0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_transaction() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 5);
+        b.tx_begin();
+        b.addi(Reg(0), Reg(0), 1);
+        b.tx_end();
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        assert_eq!(vm.step(), VmEvent::Compute(1));
+        assert_eq!(vm.step(), VmEvent::TxBegin);
+        let snap = vm.snapshot();
+        assert_eq!(vm.step(), VmEvent::Compute(1)); // addi
+        assert_eq!(vm.reg(Reg(0)), 6);
+        vm.restore(&snap);
+        assert_eq!(vm.reg(Reg(0)), 5, "rollback restores registers");
+        assert_eq!(vm.step(), VmEvent::Compute(1)); // addi re-executes
+        assert_eq!(vm.reg(Reg(0)), 6);
+        assert_eq!(vm.step(), VmEvent::TxEnd);
+    }
+
+    #[test]
+    fn restore_clears_pending_load() {
+        let mut b = ProgramBuilder::new();
+        b.tx_begin();
+        b.load(Reg(1), Reg(0));
+        b.tx_end();
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        assert_eq!(vm.step(), VmEvent::TxBegin);
+        let snap = vm.snapshot();
+        assert_eq!(vm.step(), VmEvent::Load(Addr(0)));
+        vm.restore(&snap); // abort mid-load
+        assert_eq!(vm.step(), VmEvent::Load(Addr(0)), "load re-issues");
+        vm.complete_load(9);
+        assert_eq!(vm.reg(Reg(1)), 9);
+    }
+
+    #[test]
+    fn halted_vm_stays_halted() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        assert_eq!(vm.step(), VmEvent::Halted);
+        assert_eq!(vm.step(), VmEvent::Halted);
+        assert!(vm.is_halted());
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn step_during_pending_panics() {
+        let mut b = ProgramBuilder::new();
+        b.load(Reg(0), Reg(0));
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        let _ = vm.step();
+        let _ = vm.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "complete_load")]
+    fn spurious_complete_load_panics() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        vm.complete_load(0);
+    }
+
+    #[test]
+    fn rand_is_bounded_and_deterministic() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(1), 10);
+        b.rand(Reg(0), Reg(1));
+        b.halt();
+        let prog = b.build();
+        let mut v1 = Vm::new(prog.clone(), 42);
+        let mut v2 = Vm::new(prog, 42);
+        run(&mut v1, &mut Vec::new(), 10);
+        run(&mut v2, &mut Vec::new(), 10);
+        assert_eq!(v1.reg(Reg(0)), v2.reg(Reg(0)));
+        assert!(v1.reg(Reg(0)) < 10);
+    }
+
+    #[test]
+    fn preset_reg_visible_to_program() {
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg(1), Reg(0), 1);
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        vm.preset_reg(Reg(0), 99);
+        run(&mut vm, &mut Vec::new(), 10);
+        assert_eq!(vm.reg(Reg(1)), 100);
+    }
+
+    #[test]
+    fn retired_counts_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 1).imm(Reg(1), 2).add(Reg(2), Reg(0), Reg(1));
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        run(&mut vm, &mut Vec::new(), 10);
+        assert_eq!(vm.retired(), 3);
+    }
+}

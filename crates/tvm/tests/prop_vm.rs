@@ -1,0 +1,147 @@
+//! Property tests for the TxVM: determinism, rollback fidelity and
+//! bounded execution of arbitrary straight-line programs.
+
+use chats_mem::Addr;
+use chats_tvm::{Inst, Program, ProgramBuilder, Reg, Vm, VmEvent};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Arbitrary straight-line ALU instructions over the first 8 registers
+/// (no branches — termination is structural).
+fn alu_inst() -> impl Strategy<Value = Inst> {
+    let r = || (0u8..8).prop_map(Reg);
+    prop_oneof![
+        (r(), any::<u64>()).prop_map(|(d, v)| Inst::Imm(d, v)),
+        (r(), r()).prop_map(|(d, s)| Inst::Mov(d, s)),
+        (r(), r(), r()).prop_map(|(d, a, b)| Inst::Add(d, a, b)),
+        (r(), r(), r()).prop_map(|(d, a, b)| Inst::Sub(d, a, b)),
+        (r(), r(), r()).prop_map(|(d, a, b)| Inst::Mul(d, a, b)),
+        (r(), r(), 1u64..1000).prop_map(|(d, a, v)| Inst::DivI(d, a, v)),
+        (r(), r(), 1u64..1000).prop_map(|(d, a, v)| Inst::RemI(d, a, v)),
+        (r(), r(), any::<u64>()).prop_map(|(d, a, v)| Inst::AndI(d, a, v)),
+        (r(), r(), r()).prop_map(|(d, a, b)| Inst::Xor(d, a, b)),
+        (r(), r(), 0u32..64).prop_map(|(d, a, v)| Inst::ShlI(d, a, v)),
+        (r(), r(), 0u32..64).prop_map(|(d, a, v)| Inst::ShrI(d, a, v)),
+    ]
+}
+
+fn program_from(insts: &[Inst]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for &i in insts {
+        match i {
+            Inst::Imm(d, v) => {
+                b.imm(d, v);
+            }
+            Inst::Mov(d, s) => {
+                b.mov(d, s);
+            }
+            Inst::Add(d, x, y) => {
+                b.add(d, x, y);
+            }
+            Inst::Sub(d, x, y) => {
+                b.sub(d, x, y);
+            }
+            Inst::Mul(d, x, y) => {
+                b.mul(d, x, y);
+            }
+            Inst::DivI(d, x, v) => {
+                b.divi(d, x, v);
+            }
+            Inst::RemI(d, x, v) => {
+                b.remi(d, x, v);
+            }
+            Inst::AndI(d, x, v) => {
+                b.andi(d, x, v);
+            }
+            Inst::Xor(d, x, y) => {
+                b.xor(d, x, y);
+            }
+            Inst::ShlI(d, x, v) => {
+                b.shli(d, x, v);
+            }
+            Inst::ShrI(d, x, v) => {
+                b.shri(d, x, v);
+            }
+            _ => unreachable!("alu_inst only yields ALU instructions"),
+        }
+    }
+    b.halt();
+    b.build()
+}
+
+fn run_to_halt(vm: &mut Vm, mem: &mut HashMap<u64, u64>) {
+    for _ in 0..100_000 {
+        match vm.step() {
+            VmEvent::Compute(_) | VmEvent::TxBegin | VmEvent::TxEnd => {}
+            VmEvent::Load(a) => {
+                let v = mem.get(&a.0).copied().unwrap_or(0);
+                vm.complete_load(v);
+            }
+            VmEvent::Store(a, v) => {
+                mem.insert(a.0, v);
+                vm.complete_store();
+            }
+            VmEvent::Halted => return,
+        }
+    }
+    panic!("straight-line program failed to halt");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same program + same seed => identical final registers.
+    #[test]
+    fn execution_is_deterministic(insts in proptest::collection::vec(alu_inst(), 1..100), seed in any::<u64>()) {
+        let p = program_from(&insts);
+        let mut a = Vm::new(p.clone(), seed);
+        let mut b = Vm::new(p, seed);
+        run_to_halt(&mut a, &mut HashMap::new());
+        run_to_halt(&mut b, &mut HashMap::new());
+        for r in 0..8u8 {
+            prop_assert_eq!(a.reg(Reg(r)), b.reg(Reg(r)));
+        }
+        prop_assert_eq!(a.retired(), b.retired());
+    }
+
+    /// Snapshot + restore replays to an identical architectural state
+    /// (the property transactional rollback depends on).
+    #[test]
+    fn rollback_replays_identically(
+        prefix in proptest::collection::vec(alu_inst(), 0..30),
+        body in proptest::collection::vec(alu_inst(), 1..50),
+    ) {
+        let mut all = prefix.clone();
+        all.extend(body.iter().copied());
+        let p = program_from(&all);
+        let mut vm = Vm::new(p, 7);
+        for _ in 0..prefix.len() {
+            prop_assert!(matches!(vm.step(), VmEvent::Compute(_)));
+        }
+        let snap = vm.snapshot();
+        // Run the body once.
+        run_to_halt(&mut vm, &mut HashMap::new());
+        let first: Vec<u64> = (0..8).map(|r| vm.reg(Reg(r))).collect();
+        // Roll back and run it again.
+        vm.restore(&snap);
+        run_to_halt(&mut vm, &mut HashMap::new());
+        let second: Vec<u64> = (0..8).map(|r| vm.reg(Reg(r))).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Memory round trip: stores to arbitrary addresses are read back.
+    #[test]
+    fn store_load_round_trip(addr in 0u64..1_000_000, value in any::<u64>()) {
+        let (a, v, out) = (Reg(0), Reg(1), Reg(2));
+        let mut b = ProgramBuilder::new();
+        b.imm(a, addr).imm(v, value);
+        b.store(a, v);
+        b.load(out, a);
+        b.halt();
+        let mut vm = Vm::new(b.build(), 0);
+        let mut mem = HashMap::new();
+        run_to_halt(&mut vm, &mut mem);
+        prop_assert_eq!(vm.reg(out), value);
+        prop_assert_eq!(mem.get(&Addr(addr).0).copied(), Some(value));
+    }
+}

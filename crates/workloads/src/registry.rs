@@ -1,0 +1,96 @@
+//! Workload registry: every benchmark of the paper's evaluation by name.
+
+use crate::kernels::{
+    bayes::Bayes, cadd::Cadd, genome::Genome, intruder::Intruder, kmeans::Kmeans,
+    labyrinth::Labyrinth, llb::Llb, ssca2::Ssca2, vacation::Vacation, yada::Yada,
+};
+use crate::spec::Workload;
+
+/// All workloads in the paper's plotting order: the seven STAMP benchmarks
+/// (two flavours for kmeans and vacation) followed by the microbenchmarks.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Genome::new()),
+        Box::new(Intruder::new()),
+        Box::new(Kmeans::low()),
+        Box::new(Kmeans::high()),
+        Box::new(Labyrinth::new()),
+        Box::new(Ssca2::new()),
+        Box::new(Vacation::low()),
+        Box::new(Vacation::high()),
+        Box::new(Yada::new()),
+        Box::new(Llb::low()),
+        Box::new(Llb::high()),
+        Box::new(Cadd::new()),
+    ]
+}
+
+/// Everything, including `bayes`, which the paper excludes from its
+/// evaluation because its search does varying amounts of work for the
+/// same input (§VI-C). Use this for correctness sweeps; use [`all`] to
+/// mirror the paper's figures.
+#[must_use]
+pub fn extended() -> Vec<Box<dyn Workload>> {
+    let mut v = all();
+    v.push(Box::new(Bayes::new()));
+    v
+}
+
+/// The STAMP subset (included in the paper's means).
+#[must_use]
+pub fn stamp() -> Vec<Box<dyn Workload>> {
+    all().into_iter().filter(|w| !w.is_micro()).collect()
+}
+
+/// The microbenchmarks (excluded from means).
+#[must_use]
+pub fn micro() -> Vec<Box<dyn Workload>> {
+    all().into_iter().filter(|w| w.is_micro()).collect()
+}
+
+/// Looks a workload up by its registry name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_registered() {
+        assert_eq!(all().len(), 12);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn stamp_and_micro_partition() {
+        assert_eq!(stamp().len(), 9);
+        assert_eq!(micro().len(), 3);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("kmeans-h").is_some());
+        assert!(by_name("cadd").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn bayes_is_extended_only() {
+        // The paper excludes bayes from its evaluation; the default list
+        // must mirror that, with the kernel still available.
+        assert!(by_name("bayes").is_none());
+        assert!(extended().iter().any(|w| w.name() == "bayes"));
+        assert_eq!(extended().len(), 13);
+    }
+}

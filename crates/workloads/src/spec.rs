@@ -1,0 +1,162 @@
+//! The workload abstraction and the standard runner.
+
+use chats_core::PolicyConfig;
+use chats_machine::{Machine, SimError, Tuning};
+use chats_mem::Addr;
+use chats_sim::{SimRng, SystemConfig};
+use chats_stats::RunStats;
+use chats_tvm::{Program, Reg, Vm};
+
+/// Final-memory invariant checker: returns a description of the violation
+/// if transactional semantics were broken.
+pub type Checker = Box<dyn Fn(&Machine) -> Result<(), String>>;
+
+/// One thread's program plus its initial register file.
+#[derive(Debug, Clone)]
+pub struct ThreadProgram {
+    /// The bytecode to execute.
+    pub program: Program,
+    /// Registers preset before execution (thread id, base addresses, ...).
+    pub presets: Vec<(Reg, u64)>,
+    /// Seed for the thread's private random stream.
+    pub seed: u64,
+}
+
+/// A fully instantiated workload: programs, initial memory, and the
+/// invariant checker.
+pub struct WorkloadSetup {
+    /// One program per thread.
+    pub programs: Vec<ThreadProgram>,
+    /// Initial memory contents (word address, value).
+    pub init: Vec<(Addr, u64)>,
+    /// Validates final memory; returns a description of the violation if
+    /// transactional semantics were broken.
+    pub checker: Checker,
+}
+
+/// A named transactional kernel.
+pub trait Workload {
+    /// Registry name (e.g. `"kmeans-h"`).
+    fn name(&self) -> &'static str;
+    /// `true` for the microbenchmarks excluded from the paper's means.
+    fn is_micro(&self) -> bool {
+        false
+    }
+    /// Builds the programs, memory image and checker for `threads` threads.
+    fn setup(&self, threads: usize, seed: u64, rng: &mut SimRng) -> WorkloadSetup;
+}
+
+/// How to run a workload.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Hardware description.
+    pub system: SystemConfig,
+    /// Machine tuning.
+    pub tuning: Tuning,
+    /// Number of threads (defaults to the core count).
+    pub threads: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl RunConfig {
+    /// The paper's 16-core configuration.
+    #[must_use]
+    pub fn paper() -> RunConfig {
+        let system = SystemConfig::default();
+        RunConfig {
+            threads: system.core.cores,
+            system,
+            tuning: Tuning::default(),
+            seed: 0xC4A75,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// A scaled-down 4-core machine for fast unit tests, with the
+    /// atomicity oracle armed: every commit in every test run is checked
+    /// against the §III-C serializability criterion.
+    #[must_use]
+    pub fn quick_test() -> RunConfig {
+        let system = SystemConfig::small_test();
+        RunConfig {
+            threads: system.core.cores,
+            system,
+            tuning: Tuning {
+                check_atomicity: true,
+                ..Tuning::default()
+            },
+            seed: 0xC4A75,
+            max_cycles: 500_000_000,
+        }
+    }
+
+    /// Builder-style seed override.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> RunConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The statistics gathered by the machine.
+    pub stats: RunStats,
+}
+
+/// Instantiates `workload`, runs it under `policy`, checks its invariant
+/// and returns the statistics.
+///
+/// # Errors
+///
+/// Returns an error string on simulation timeout/deadlock or invariant
+/// violation (an HTM correctness bug).
+pub fn run_workload(
+    workload: &dyn Workload,
+    policy: PolicyConfig,
+    cfg: &RunConfig,
+) -> Result<RunOutput, String> {
+    let mut sys = cfg.system;
+    sys.core.cores = cfg.threads;
+    let mut rng = SimRng::seed_from(cfg.seed);
+    let setup = workload.setup(cfg.threads, cfg.seed, &mut rng);
+    assert_eq!(
+        setup.programs.len(),
+        cfg.threads,
+        "workload produced a wrong thread count"
+    );
+    let mut m = Machine::new(sys, policy, cfg.tuning, cfg.seed);
+    for (addr, v) in &setup.init {
+        m.store_init(*addr, *v);
+    }
+    for (t, tp) in setup.programs.into_iter().enumerate() {
+        let mut vm = Vm::new(tp.program, tp.seed);
+        for (r, v) in tp.presets {
+            vm.preset_reg(r, v);
+        }
+        m.load_thread(t, vm);
+    }
+    let stats = match m.run(cfg.max_cycles) {
+        Ok(s) => s,
+        Err(SimError::Timeout { at_cycle }) => {
+            return Err(format!(
+                "{} under {:?}: timed out at cycle {at_cycle}",
+                workload.name(),
+                policy.system
+            ))
+        }
+        Err(e) => return Err(format!("{} under {:?}: {e}", workload.name(), policy.system)),
+    };
+    (setup.checker)(&m).map_err(|e| {
+        format!(
+            "{} under {:?}: transactional semantics violated: {e}",
+            workload.name(),
+            policy.system
+        )
+    })?;
+    Ok(RunOutput { stats })
+}

@@ -1,0 +1,54 @@
+//! Policy showdown: run every workload under all six HTM systems and
+//! print the normalized execution-time matrix (the Figure 4 / Figure 11
+//! view of the whole design space).
+//!
+//! ```text
+//! cargo run --release --example policy_showdown [--quick]
+//! ```
+
+use chats::prelude::*;
+use chats::stats::{gmean, Table};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        RunConfig::quick_test()
+    } else {
+        RunConfig::paper()
+    };
+
+    let systems = HtmSystem::ALL;
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(systems.iter().map(|s| s.label().to_string()));
+    let mut table = Table::new(headers);
+    let mut per_system: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+
+    for w in registry::all() {
+        let base = run_workload(
+            w.as_ref(),
+            PolicyConfig::for_system(HtmSystem::Baseline),
+            &cfg,
+        )
+        .expect("baseline runs")
+        .stats
+        .cycles as f64;
+        let mut vals = Vec::new();
+        for (k, &sys) in systems.iter().enumerate() {
+            let s = run_workload(w.as_ref(), PolicyConfig::for_system(sys), &cfg)
+                .expect("simulation runs")
+                .stats;
+            let v = s.cycles as f64 / base;
+            if !w.is_micro() {
+                per_system[k].push(v);
+            }
+            vals.push(v);
+        }
+        table.row_f64(w.name(), &vals);
+    }
+    let gm: Vec<f64> = per_system.iter().map(|v| gmean(v)).collect();
+    table.row_f64("gmean", &gm);
+
+    println!("normalized execution time (lower is better, baseline = 1.0)\n");
+    println!("{table}");
+    println!("every run passed its workload's serializability checker.");
+}

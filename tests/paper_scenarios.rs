@@ -1,0 +1,230 @@
+//! Choreographed protocol scenarios from the paper's correctness
+//! discussion (§III), each built as a small hand-written TxVM program so
+//! the exact interleaving the paper describes actually occurs.
+
+use chats::prelude::*;
+
+/// Builds a machine with `n` cores under `system`.
+fn machine(n: usize, system: HtmSystem) -> Machine {
+    let mut sys = SystemConfig::default();
+    sys.core.cores = n;
+    Machine::new(sys, PolicyConfig::for_system(system), Tuning::default(), 42)
+}
+
+/// A producer that writes `value` to `addr`, then lingers `linger` cycles
+/// inside the transaction before committing.
+fn producer(addr: u64, value: u64, linger: u64) -> Program {
+    let (a, v) = (Reg(0), Reg(1));
+    let mut b = ProgramBuilder::new();
+    b.tx_begin();
+    b.imm(a, addr).imm(v, value);
+    b.store(a, v);
+    b.pause(linger);
+    b.tx_end();
+    b.halt();
+    b.build()
+}
+
+/// A consumer that (after `delay`) reads `src` transactionally and stores
+/// what it saw to `dst`.
+fn consumer(src: u64, dst: u64, delay: u64) -> Program {
+    let (a, v) = (Reg(0), Reg(1));
+    let mut b = ProgramBuilder::new();
+    b.pause(delay);
+    b.tx_begin();
+    b.imm(a, src);
+    b.load(v, a);
+    b.imm(a, dst);
+    b.store(a, v);
+    b.tx_end();
+    b.halt();
+    b.build()
+}
+
+/// §III-A "Multiple consumers": T1 and T2 both receive speculative copies
+/// of the same block from T0; their commits serialize after T0 and they
+/// observe T0's value.
+#[test]
+fn multiple_consumers_serialize_after_producer() {
+    let mut m = machine(3, HtmSystem::Chats);
+    m.load_thread(0, Vm::new(producer(0, 99, 600), 1));
+    m.load_thread(1, Vm::new(consumer(0, 512, 150), 2));
+    m.load_thread(2, Vm::new(consumer(0, 1024, 200), 3));
+    let s = m.run(1_000_000).unwrap();
+    assert_eq!(m.inspect_word(Addr(0)), 99);
+    assert_eq!(m.inspect_word(Addr(512)), 99, "T1 must observe T0's value");
+    assert_eq!(m.inspect_word(Addr(1024)), 99, "T2 must observe T0's value");
+    assert!(s.forwardings >= 2, "both consumers got speculative copies");
+    assert_eq!(s.commits, 3);
+}
+
+/// §III-A "Cascading aborts": the producer overwrites the forwarded value
+/// before committing, so every consumer's validation mismatches and the
+/// abort propagates without any explicit message.
+#[test]
+fn producer_overwrite_cascades_through_validation() {
+    // Producer writes 7, lingers (forwarding window), then writes 8.
+    let (a, v) = (Reg(0), Reg(1));
+    let mut b = ProgramBuilder::new();
+    b.tx_begin();
+    b.imm(a, 0).imm(v, 7);
+    b.store(a, v);
+    b.pause(500); // consumers consume 7 in this window
+    b.imm(v, 8);
+    b.store(a, v); // invalidates every speculation on this line
+    b.pause(300);
+    b.tx_end();
+    b.halt();
+    let prod = b.build();
+
+    let mut m = machine(2, HtmSystem::Chats);
+    m.load_thread(0, Vm::new(prod, 1));
+    m.load_thread(1, Vm::new(consumer(0, 512, 150), 2));
+    let s = m.run(1_000_000).unwrap();
+    assert_eq!(m.inspect_word(Addr(0)), 8);
+    assert_eq!(
+        m.inspect_word(Addr(512)),
+        8,
+        "consumer must re-execute and observe the final value"
+    );
+    assert!(
+        s.aborts_by(AbortCause::ValidationMismatch) >= 1,
+        "the stale 7 must be caught by value validation"
+    );
+}
+
+/// §III-C ABA: the consumer speculates value A; other writers change the
+/// location to B and back to A before validation. Value-based validation
+/// accepts — and that is *correct*, because the consumer's commit
+/// serializes at a point where the location holds A.
+#[test]
+fn aba_speculation_is_accepted_and_correct() {
+    // T0 writes A=5 and lingers (forwards 5 to the consumer).
+    // T1 (consumer) reads the line, then lingers long inside its tx.
+    // T2 writes B=6 then A=5 again, non-transactionally timed after T0
+    // commits but before T1 validates at commit.
+    let (a, v) = (Reg(0), Reg(1));
+
+    let mut b2 = ProgramBuilder::new();
+    b2.pause(900);
+    b2.tx_begin();
+    b2.imm(a, 0).imm(v, 6);
+    b2.store(a, v);
+    b2.tx_end();
+    b2.tx_begin();
+    b2.imm(v, 5);
+    b2.store(a, v);
+    b2.tx_end();
+    b2.halt();
+
+    let mut b1 = ProgramBuilder::new();
+    b1.pause(150);
+    b1.tx_begin();
+    b1.imm(a, 0);
+    b1.load(v, a); // speculates 5
+    b1.pause(2500); // long enough for T2's B-then-A dance
+    b1.imm(a, 512);
+    b1.store(a, v);
+    b1.tx_end();
+    b1.halt();
+
+    let mut m = machine(3, HtmSystem::Chats);
+    m.load_thread(0, Vm::new(producer(0, 5, 500), 1));
+    m.load_thread(1, Vm::new(b1.build(), 2));
+    m.load_thread(2, Vm::new(b2.build(), 3));
+    m.run(1_000_000).unwrap();
+    // Whatever the interleaving, serializability demands the consumer's
+    // output equals the value of the line at its serialization point, and
+    // the line only ever holds 5 or 6.
+    let out = m.inspect_word(Addr(512));
+    assert!(out == 5 || out == 6, "consumer observed a phantom value {out}");
+    assert_eq!(m.inspect_word(Addr(0)), 5, "final value is A again");
+}
+
+/// §III "chains of any length": four transactions chained through three
+/// different lines all commit, each observing its predecessor's value.
+#[test]
+fn long_chain_commits_in_dependency_order() {
+    // T0 writes line 0 (value 10) and lingers.
+    // T1 reads line 0, writes line 8 (value seen + 1), lingers.
+    // T2 reads line 8, writes line 16, lingers.
+    // T3 reads line 16, records it.
+    fn link(src: u64, dst: u64, delay: u64, linger: u64) -> Program {
+        let (a, v) = (Reg(0), Reg(1));
+        let mut b = ProgramBuilder::new();
+        b.pause(delay);
+        b.tx_begin();
+        b.imm(a, src);
+        b.load(v, a);
+        b.addi(v, v, 1);
+        b.imm(a, dst);
+        b.store(a, v);
+        b.pause(linger);
+        b.tx_end();
+        b.halt();
+        b.build()
+    }
+
+    let mut m = machine(4, HtmSystem::Chats);
+    m.load_thread(0, Vm::new(producer(0, 10, 900), 1));
+    m.load_thread(1, Vm::new(link(0, 64, 120, 700), 2));
+    m.load_thread(2, Vm::new(link(64, 128, 260, 500), 3));
+    m.load_thread(3, Vm::new(link(128, 192, 400, 0), 4));
+    let s = m.run(1_000_000).unwrap();
+    assert_eq!(m.inspect_word(Addr(0)), 10);
+    assert_eq!(m.inspect_word(Addr(64)), 11, "T1 chained on T0");
+    assert_eq!(m.inspect_word(Addr(128)), 12, "T2 chained on T1");
+    assert_eq!(m.inspect_word(Addr(192)), 13, "T3 chained on T2");
+    assert_eq!(s.commits, 4);
+}
+
+/// §IV-A: a conflicting *non-transactional* access always wins — the
+/// transaction aborts and the plain store lands.
+#[test]
+fn non_transactional_access_always_wins() {
+    // T0: transactionally writes line 0 and lingers a long time.
+    let (a, v) = (Reg(0), Reg(1));
+    let mut b0 = ProgramBuilder::new();
+    b0.tx_begin();
+    b0.imm(a, 0).imm(v, 1);
+    b0.store(a, v);
+    b0.pause(800);
+    b0.tx_end();
+    b0.halt();
+
+    // T1: plain (non-transactional) store to the same line mid-window.
+    let mut b1 = ProgramBuilder::new();
+    b1.pause(200);
+    b1.imm(a, 0).imm(v, 2);
+    b1.store(a, v);
+    b1.halt();
+
+    let mut m = machine(2, HtmSystem::Chats);
+    m.load_thread(0, Vm::new(b0.build(), 1));
+    m.load_thread(1, Vm::new(b1.build(), 2));
+    let s = m.run(1_000_000).unwrap();
+    assert!(
+        s.aborts_by(AbortCause::Conflict) >= 1,
+        "the transaction must lose to the plain store"
+    );
+    // T0 retries after the plain store and its write lands last.
+    assert_eq!(m.inspect_word(Addr(0)), 1);
+    assert_eq!(s.forwardings, 0, "never forward to non-transactional requesters");
+}
+
+/// The same chain scenarios must also hold under PCHATS and produce the
+/// same final memory as CHATS (power is a priority policy, not a
+/// semantics change).
+#[test]
+fn pchats_matches_chats_semantics_on_chains() {
+    for sys in [HtmSystem::Chats, HtmSystem::Pchats, HtmSystem::NaiveRs] {
+        let mut m = machine(3, sys);
+        m.load_thread(0, Vm::new(producer(0, 99, 600), 1));
+        m.load_thread(1, Vm::new(consumer(0, 512, 150), 2));
+        m.load_thread(2, Vm::new(consumer(0, 1024, 200), 3));
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.inspect_word(Addr(0)), 99, "{sys:?}");
+        assert_eq!(m.inspect_word(Addr(512)), 99, "{sys:?}");
+        assert_eq!(m.inspect_word(Addr(1024)), 99, "{sys:?}");
+    }
+}

@@ -1,0 +1,63 @@
+//! The heavyweight correctness sweep: every workload under every HTM
+//! system, multiple seeds. Each run's final memory is checked by the
+//! workload's serializability invariant — a lost update, phantom
+//! speculative write, or broken commit order anywhere in the protocol
+//! fails the sweep.
+
+use chats::core::{HtmSystem, PolicyConfig};
+use chats::workloads::{registry, run_workload, RunConfig};
+
+fn sweep(system: HtmSystem, seeds: &[u64]) {
+    // `extended()` adds the paper-excluded bayes kernel: excluded from
+    // figures, but correctness must hold for it too.
+    for w in registry::extended() {
+        for &seed in seeds {
+            let cfg = RunConfig::quick_test().with_seed(seed);
+            run_workload(w.as_ref(), PolicyConfig::for_system(system), &cfg)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn baseline_sweep() {
+    sweep(HtmSystem::Baseline, &[1, 2, 3]);
+}
+
+#[test]
+fn naive_rs_sweep() {
+    sweep(HtmSystem::NaiveRs, &[1, 2, 3]);
+}
+
+#[test]
+fn chats_sweep() {
+    sweep(HtmSystem::Chats, &[1, 2, 3]);
+}
+
+#[test]
+fn power_sweep() {
+    sweep(HtmSystem::Power, &[1, 2, 3]);
+}
+
+#[test]
+fn pchats_sweep() {
+    sweep(HtmSystem::Pchats, &[1, 2, 3]);
+}
+
+#[test]
+fn levc_sweep() {
+    sweep(HtmSystem::LevcBeIdealized, &[1, 2, 3]);
+}
+
+/// The paper-scale machine (16 cores, Table I geometry) must also pass
+/// every checker — this is the configuration all figures are produced on.
+#[test]
+fn paper_scale_chats_and_baseline() {
+    for sys in [HtmSystem::Baseline, HtmSystem::Chats, HtmSystem::Pchats] {
+        for w in registry::all() {
+            let cfg = RunConfig::paper();
+            run_workload(w.as_ref(), PolicyConfig::for_system(sys), &cfg)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
