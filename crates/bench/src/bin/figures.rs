@@ -3,12 +3,17 @@
 //! ```text
 //! figures [--quick] [ids...]        # default: all
 //! figures fig4 headline
-//! figures --quick fig1
+//! figures --quick --jobs 8 fig1
 //! ```
+//!
+//! Each figure's grid is executed in parallel through the `chats-runner`
+//! worker pool and served from `target/chats-cache/` on repeat runs;
+//! `--no-cache` forces fresh simulations.
 
 use chats_bench::figures;
 use chats_bench::{Harness, Scale};
 use chats_core::PolicyConfig;
+use chats_runner::{Runner, RunnerConfig};
 use chats_stats::BarChart;
 use chats_workloads::registry;
 
@@ -17,6 +22,7 @@ fn main() {
     let mut bars = false;
     let mut csv_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
+    let mut runner_cfg = RunnerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,11 +31,22 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(args.next().expect("--csv needs a directory"));
             }
+            "--jobs" => {
+                runner_cfg.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a number");
+            }
+            "--no-cache" => runner_cfg.use_cache = false,
             "--help" | "-h" => {
-                println!("usage: figures [--quick] [--bars] [--csv DIR] [ids...]");
+                println!(
+                    "usage: figures [--quick] [--bars] [--csv DIR] [--jobs N] [--no-cache] [ids...]"
+                );
                 println!("available ids: {}", figures::available().join(", "));
                 println!("--bars additionally renders the Fig. 4 summary as bar charts");
                 println!("--csv DIR also writes each table as DIR/<id>.csv");
+                println!("--jobs N runs each figure's grid on N workers (default: all cores)");
+                println!("--no-cache ignores results cached under target/chats-cache");
                 return;
             }
             other => ids.push(other.to_string()),
@@ -38,7 +55,7 @@ fn main() {
     if ids.is_empty() {
         ids = figures::available().iter().map(|s| s.to_string()).collect();
     }
-    let h = Harness::new(scale);
+    let h = Harness::with_runner(scale, Runner::new(runner_cfg));
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv directory");
     }

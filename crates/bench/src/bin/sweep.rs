@@ -3,21 +3,28 @@
 //! ```text
 //! sweep --workload kmeans-h --system chats --retries 1,2,4,8,16,32
 //! sweep --workload yada     --system chats --vsb 1,2,4,8
-//! sweep --workload genome   --system all
+//! sweep --workload genome   --system all --jobs 4
 //! sweep --workload llb-h --system chats --threads 2,4,8,16
 //! ```
 //!
-//! Prints one row per configuration: cycles, commits, aborts, forwardings
-//! and flits — everything a downstream user needs to explore the design
-//! space beyond the paper's figures.
+//! The swept cross-product is submitted as one job set to the
+//! `chats-runner` worker pool: points run in parallel, results are served
+//! from `target/chats-cache/` when already known, and every invocation
+//! writes a run manifest under `target/chats-runs/`. Prints one row per
+//! configuration: cycles, commits, aborts, forwardings and flits.
 
 use chats_core::{HtmSystem, PolicyConfig};
+use chats_runner::{default_runs_dir, write_manifest, JobSet, JobSpec, Runner, RunnerConfig};
 use chats_stats::Table;
-use chats_workloads::{registry, run_workload, RunConfig};
+use chats_workloads::{registry, RunConfig};
 
 fn parse_list(v: &str) -> Vec<u64> {
     v.split(',')
-        .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad number {s:?}")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad number {s:?}"))
+        })
         .collect()
 }
 
@@ -30,7 +37,9 @@ fn parse_system(v: &str) -> Vec<HtmSystem> {
         "pchats" => vec![HtmSystem::Pchats],
         "levc" => vec![HtmSystem::LevcBeIdealized],
         "all" => HtmSystem::ALL.to_vec(),
-        other => panic!("unknown system {other:?} (try baseline/naive/chats/power/pchats/levc/all)"),
+        other => {
+            panic!("unknown system {other:?} (try baseline/naive/chats/power/pchats/levc/all)")
+        }
     }
 }
 
@@ -43,6 +52,7 @@ fn main() {
     let mut intervals: Vec<u64> = vec![];
     let mut threads: Vec<u64> = vec![];
     let mut seed = 0xC4A75u64;
+    let mut runner_cfg = RunnerConfig::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -59,10 +69,13 @@ fn main() {
             "--interval" => intervals = parse_list(&val()),
             "--threads" | "-t" => threads = parse_list(&val()),
             "--seed" => seed = val().parse().expect("bad seed"),
+            "--jobs" | "-j" => runner_cfg.jobs = val().parse().expect("bad --jobs value"),
+            "--no-cache" => runner_cfg.use_cache = false,
             "--help" | "-h" => {
                 println!(
                     "usage: sweep [--workload NAME] [--system S] [--retries a,b,..]\n\
-                     \x20            [--vsb a,b,..] [--interval a,b,..] [--threads a,b,..] [--seed N]"
+                     \x20            [--vsb a,b,..] [--interval a,b,..] [--threads a,b,..]\n\
+                     \x20            [--seed N] [--jobs N] [--no-cache]"
                 );
                 println!(
                     "workloads: {}",
@@ -92,8 +105,43 @@ fn main() {
         threads.push(0);
     }
 
-    let w = registry::by_name(&workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload:?} (try --help)"));
+    assert!(
+        registry::by_name(&workload).is_some(),
+        "unknown workload {workload:?} (try --help)"
+    );
+
+    // Enumerate the cross-product; the job set dedups repeated points.
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for &sys in &systems {
+        for &r in &retries {
+            for &v in &vsbs {
+                for &iv in &intervals {
+                    for &th in &threads {
+                        let mut policy = PolicyConfig::for_system(sys);
+                        if r != 0 {
+                            policy =
+                                policy.with_retries(u32::try_from(r).expect("retries fit u32"));
+                        }
+                        if v != 0 {
+                            policy = policy.with_vsb_size(v as usize);
+                        }
+                        if iv != u64::MAX {
+                            policy = policy.with_validation_interval(iv);
+                        }
+                        let mut cfg = RunConfig::paper().with_seed(seed);
+                        if th != 0 {
+                            cfg.threads = th as usize;
+                        }
+                        specs.push(JobSpec::new(workload.clone(), policy, cfg));
+                    }
+                }
+            }
+        }
+    }
+    let set: JobSet = specs.iter().cloned().collect();
+
+    let runner = Runner::new(runner_cfg);
+    let report = runner.run_set(&set);
 
     let mut t = Table::new(vec![
         "system".into(),
@@ -107,44 +155,36 @@ fn main() {
         "forwardings".into(),
         "flits".into(),
     ]);
-    for &sys in &systems {
-        for &r in &retries {
-            for &v in &vsbs {
-                for &iv in &intervals {
-                    for &th in &threads {
-                        let mut policy = PolicyConfig::for_system(sys);
-                        if r != 0 {
-                            policy = policy.with_retries(r as u32);
-                        }
-                        if v != 0 {
-                            policy = policy.with_vsb_size(v as usize);
-                        }
-                        if iv != u64::MAX {
-                            policy = policy.with_validation_interval(iv);
-                        }
-                        let mut cfg = RunConfig::paper().with_seed(seed);
-                        if th != 0 {
-                            cfg.threads = th as usize;
-                        }
-                        let s = run_workload(w.as_ref(), policy, &cfg)
-                            .unwrap_or_else(|e| panic!("{e}"))
-                            .stats;
-                        t.row(vec![
-                            sys.label().into(),
-                            cfg.threads.to_string(),
-                            policy.retries.to_string(),
-                            policy.vsb_size.to_string(),
-                            policy.validation_interval.to_string(),
-                            s.cycles.to_string(),
-                            s.commits.to_string(),
-                            s.total_aborts().to_string(),
-                            s.forwardings.to_string(),
-                            s.flits.to_string(),
-                        ]);
-                    }
-                }
-            }
-        }
+    // Report in cross-product order (specs), not dedup order.
+    for spec in &specs {
+        let Some(s) = report.stats_for(spec) else {
+            eprintln!("sweep: {} failed; see messages above", spec.label());
+            continue;
+        };
+        t.row(vec![
+            spec.policy.system.label().into(),
+            spec.config.threads.to_string(),
+            spec.policy.retries.to_string(),
+            spec.policy.vsb_size.to_string(),
+            spec.policy.validation_interval.to_string(),
+            s.cycles.to_string(),
+            s.commits.to_string(),
+            s.total_aborts().to_string(),
+            s.forwardings.to_string(),
+            s.flits.to_string(),
+        ]);
     }
     println!("{workload} (seed {seed})\n{t}");
+    match write_manifest(
+        &report,
+        &["sweep".to_string()],
+        "paper",
+        &default_runs_dir(),
+    ) {
+        Ok(info) => eprintln!("sweep: manifest {}", info.path.display()),
+        Err(e) => eprintln!("sweep: could not write manifest: {e}"),
+    }
+    if !report.all_succeeded() {
+        std::process::exit(1);
+    }
 }

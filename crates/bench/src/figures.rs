@@ -1,20 +1,15 @@
 //! One function per table/figure of the paper (see DESIGN.md §5 for the
 //! experiment index).
 
-use crate::harness::Harness;
+use crate::harness::{Harness, Scale};
 use chats_core::{AbortCause, ForwardSet, HtmSystem, PolicyConfig};
 use chats_sim::SystemConfig;
 use chats_stats::{amean, gmean, Table};
 use chats_workloads::registry;
 
-/// The comparison systems of Figs. 1 and 4–7, in plotting order.
-pub const MAIN_SYSTEMS: [HtmSystem; 5] = [
-    HtmSystem::Baseline,
-    HtmSystem::NaiveRs,
-    HtmSystem::Chats,
-    HtmSystem::Power,
-    HtmSystem::Pchats,
-];
+/// The comparison systems of Figs. 1 and 4–7, in plotting order
+/// (defined next to the job grids in `chats-runner`).
+pub use chats_runner::MAIN_SYSTEMS;
 
 /// Table I: simulated system parameters.
 #[must_use]
@@ -39,7 +34,10 @@ pub fn table1() -> Table {
         "memory".into(),
         format!("{}-cycle latency behind the LLC", s.mem.mem_latency),
     ]);
-    t.row(vec!["protocol".into(), "MESI, directory-based (blocking)".into()]);
+    t.row(vec![
+        "protocol".into(),
+        "MESI, directory-based (blocking)".into(),
+    ]);
     t.row(vec!["topology".into(), "crossbar".into()]);
     t.row(vec![
         "message size".into(),
@@ -76,7 +74,13 @@ pub fn table2() -> Table {
         } else {
             ("NA".into(), "NA".into(), "NA".into())
         };
-        t.row(vec![sys.label().into(), fs, c.retries.to_string(), vsb, val]);
+        t.row(vec![
+            sys.label().into(),
+            fs,
+            c.retries.to_string(),
+            vsb,
+            val,
+        ]);
     }
     t
 }
@@ -148,7 +152,8 @@ pub fn fig5(h: &Harness) -> Table {
                 s.aborts_by(AbortCause::Capacity).to_string(),
                 s.aborts_by(AbortCause::ValidationMismatch).to_string(),
                 s.aborts_by(AbortCause::CycleDetected).to_string(),
-                s.aborts_by(AbortCause::ValidationBudgetExhausted).to_string(),
+                s.aborts_by(AbortCause::ValidationBudgetExhausted)
+                    .to_string(),
                 s.aborts_by(AbortCause::FallbackLock).to_string(),
                 s.total_aborts().to_string(),
             ]);
@@ -238,7 +243,10 @@ pub fn fig8(h: &Harness) -> Table {
             )
             .cycles as f64;
         let mut vals = Vec::new();
-        for (i, sys) in [HtmSystem::Chats, HtmSystem::Pchats].into_iter().enumerate() {
+        for (i, sys) in [HtmSystem::Chats, HtmSystem::Pchats]
+            .into_iter()
+            .enumerate()
+        {
             for (j, fs) in sets.into_iter().enumerate() {
                 let s = h.measure(
                     w.as_ref(),
@@ -279,10 +287,7 @@ pub fn fig9(h: &Harness) -> Table {
             let mut per_wl = Vec::new();
             for w in registry::stamp() {
                 let base = h.baseline_cycles(w.as_ref());
-                let s = h.measure(
-                    w.as_ref(),
-                    PolicyConfig::for_system(sys).with_retries(r),
-                );
+                let s = h.measure(w.as_ref(), PolicyConfig::for_system(sys).with_retries(r));
                 per_wl.push(s.cycles as f64 / base);
             }
             vals.push(gmean(&per_wl));
@@ -292,9 +297,10 @@ pub fn fig9(h: &Harness) -> Table {
     t
 }
 
-/// The contended subset used for the Fig. 10 sensitivity heatmaps.
+/// The contended subset used for the Fig. 10 sensitivity heatmaps
+/// (shared with the `chats-runner` job grids).
 fn contended() -> Vec<&'static str> {
-    vec!["genome", "intruder", "kmeans-h", "yada"]
+    chats_runner::contended().to_vec()
 }
 
 /// Figure 10: VSB size × validation interval, execution time (left) and
@@ -371,24 +377,26 @@ pub fn fig11(h: &Harness) -> Table {
 /// threads because STAMP scales poorly beyond that; this quantifies how
 /// much of the scalability loss CHATS recovers.
 #[must_use]
-pub fn scaling(_h: &Harness) -> Table {
-    use chats_workloads::{run_workload, RunConfig};
+pub fn scaling(h: &Harness) -> Table {
+    use chats_runner::JobSpec;
     let systems = [HtmSystem::Baseline, HtmSystem::Chats];
+    let threads: &[usize] = match h.scale() {
+        Scale::Paper => &[1, 2, 4, 8, 16],
+        Scale::Quick => &[1, 2, 4],
+    };
     let mut headers = vec!["threads".into()];
     for sys in systems {
         headers.push(format!("{} speedup", sys.label()));
     }
     let mut t = Table::new(headers);
     let measure = |sys: HtmSystem, n: usize| -> f64 {
-        let mut cfg = RunConfig::paper();
+        let mut cfg = h.scale().run_config();
         cfg.threads = n;
-        let w = registry::by_name("kmeans-h").unwrap();
-        let s = run_workload(w.as_ref(), PolicyConfig::for_system(sys), &cfg)
-            .unwrap_or_else(|e| panic!("{e}"));
-        s.stats.cycles as f64
+        let spec = JobSpec::new("kmeans-h", PolicyConfig::for_system(sys), cfg);
+        h.measure_spec(&spec).cycles as f64
     };
     let base_t1: Vec<f64> = systems.iter().map(|&sys| measure(sys, 1)).collect();
-    for n in [1usize, 2, 4, 8, 16] {
+    for &n in threads {
         let mut vals = Vec::new();
         for (k, &sys) in systems.iter().enumerate() {
             // n threads perform n x the single-thread work.
@@ -580,8 +588,22 @@ pub fn headline(h: &Harness) -> Table {
 #[must_use]
 pub fn available() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "ablations", "chains", "picwidth", "scaling", "headline",
+        "table1",
+        "table2",
+        "fig1",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ablations",
+        "chains",
+        "picwidth",
+        "scaling",
+        "headline",
     ]
 }
 
@@ -592,6 +614,11 @@ pub fn available() -> Vec<&'static str> {
 /// Panics on an unknown id.
 #[must_use]
 pub fn run_by_name(h: &Harness, id: &str) -> Table {
+    // Execute the figure's whole grid on the runner's worker pool first;
+    // the serial reads below then come out of the memo/disk cache.
+    if let Some(set) = chats_runner::experiments::set(id, h.scale()) {
+        h.warm(&set);
+    }
     match id {
         "table1" => table1(),
         "table2" => table2(),
@@ -609,7 +636,10 @@ pub fn run_by_name(h: &Harness, id: &str) -> Table {
         "picwidth" => picwidth(h),
         "scaling" => scaling(h),
         "headline" => headline(h),
-        other => panic!("unknown experiment id {other:?}; try one of {:?}", available()),
+        other => panic!(
+            "unknown experiment id {other:?}; try one of {:?}",
+            available()
+        ),
     }
 }
 

@@ -1,53 +1,70 @@
-//! Shared measurement harness with per-process memoization.
+//! Shared measurement harness, backed by the `chats-runner` subsystem.
+//!
+//! Every measurement goes through a [`chats_runner::Runner`], which gives
+//! the figure functions per-process memoization *and* the persistent disk
+//! cache under `target/chats-cache/` — regenerating a figure after a
+//! completed `chats-run` invocation touches no simulation at all. Use
+//! [`Harness::warm`] to execute a whole grid on the worker pool before
+//! reading individual cells serially.
 
 use chats_core::{HtmSystem, PolicyConfig};
+use chats_runner::{JobSet, JobSpec, RunReport, Runner, RunnerConfig};
 use chats_stats::RunStats;
-use chats_workloads::{registry, run_workload, RunConfig, Workload};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use chats_workloads::{registry, Workload};
 
-/// Experiment scale: the paper-like configuration or a fast CI-friendly
-/// one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Scale {
-    /// 16 cores, full Table I geometry.
-    Paper,
-    /// 4 cores, shrunken caches; for tests and quick sweeps.
-    Quick,
-}
+pub use chats_runner::Scale;
 
-impl Scale {
-    /// The matching run configuration.
-    #[must_use]
-    pub fn run_config(self) -> RunConfig {
-        match self {
-            Scale::Paper => RunConfig::paper(),
-            Scale::Quick => RunConfig::quick_test(),
-        }
-    }
-}
-
-/// A memoizing measurement harness: identical (workload, policy) cells are
-/// simulated once per process.
+/// A measurement harness: identical (workload, policy, config) cells are
+/// simulated once and remembered, in-process and on disk.
 pub struct Harness {
     scale: Scale,
-    cache: Mutex<HashMap<String, RunStats>>,
+    runner: Runner,
 }
 
 impl Harness {
-    /// A harness at the given scale.
+    /// A harness at the given scale with a default-configured runner
+    /// (disk cache on, per-job progress off).
     #[must_use]
     pub fn new(scale: Scale) -> Harness {
-        Harness {
+        Harness::with_runner(
             scale,
-            cache: Mutex::new(HashMap::new()),
-        }
+            Runner::new(RunnerConfig {
+                quiet: true,
+                ..RunnerConfig::default()
+            }),
+        )
+    }
+
+    /// A harness measuring through a caller-configured runner.
+    #[must_use]
+    pub fn with_runner(scale: Scale, runner: Runner) -> Harness {
+        Harness { scale, runner }
     }
 
     /// The scale in use.
     #[must_use]
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// The runner measurements go through.
+    #[must_use]
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Executes a whole job set on the runner's worker pool, populating
+    /// the caches that subsequent [`Harness::measure`] calls read.
+    /// Failures are not raised here — the failing cell panics with its
+    /// message when a figure actually reads it.
+    pub fn warm(&self, set: &JobSet) -> RunReport {
+        self.runner.run_set(set)
+    }
+
+    /// The job a `measure` call would run for `workload` under `policy`.
+    #[must_use]
+    pub fn job(&self, workload: &dyn Workload, policy: PolicyConfig) -> JobSpec {
+        JobSpec::new(workload.name(), policy, self.scale.run_config())
     }
 
     /// Runs (or recalls) `workload` under `policy` and returns its stats.
@@ -57,17 +74,17 @@ impl Harness {
     /// Panics if the simulation times out or the workload's invariant
     /// checker reports an HTM correctness violation.
     pub fn measure(&self, workload: &dyn Workload, policy: PolicyConfig) -> RunStats {
-        let key = format!("{}|{policy:?}", workload.name());
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
-            return hit.clone();
-        }
-        let cfg = self.scale.run_config();
-        let out = run_workload(workload, policy, &cfg).unwrap_or_else(|e| panic!("{e}"));
-        self.cache
-            .lock()
-            .unwrap()
-            .insert(key, out.stats.clone());
-        out.stats
+        self.measure_spec(&self.job(workload, policy))
+    }
+
+    /// Runs (or recalls) an explicit job — for cells that deviate from
+    /// the scale's default machine, e.g. thread-count scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job fails (see [`Harness::measure`]).
+    pub fn measure_spec(&self, spec: &JobSpec) -> RunStats {
+        self.runner.run_one(spec).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convenience: measure a registry workload by name under a system's
@@ -88,10 +105,24 @@ impl Harness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chats_runner::JobSet;
+
+    fn isolated(scale: Scale) -> Harness {
+        // Tests must not read results another build left in the shared
+        // disk cache, nor write into it.
+        Harness::with_runner(
+            scale,
+            Runner::new(RunnerConfig {
+                use_cache: false,
+                quiet: true,
+                ..RunnerConfig::default()
+            }),
+        )
+    }
 
     #[test]
     fn memoization_returns_identical_stats() {
-        let h = Harness::new(Scale::Quick);
+        let h = isolated(Scale::Quick);
         let w = registry::by_name("ssca2").unwrap();
         let a = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline));
         let b = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline));
@@ -101,12 +132,28 @@ mod tests {
 
     #[test]
     fn distinct_policies_are_distinct_cells() {
-        let h = Harness::new(Scale::Quick);
+        let h = isolated(Scale::Quick);
         let w = registry::by_name("kmeans-h").unwrap();
         let a = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Baseline));
         let b = h.measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats));
         // Different systems must at least differ in forwarding behaviour.
         assert_eq!(a.forwardings, 0);
         assert!(b.forwardings > 0);
+    }
+
+    #[test]
+    fn warm_then_measure_hits_the_memo() {
+        let h = isolated(Scale::Quick);
+        let w = registry::by_name("cadd").unwrap();
+        let policy = PolicyConfig::for_system(HtmSystem::Baseline);
+        let mut set = JobSet::new();
+        set.push(h.job(w.as_ref(), policy));
+        let report = h.warm(&set);
+        assert!(report.all_succeeded());
+        let warmed = report
+            .stats_for(&h.job(w.as_ref(), policy))
+            .unwrap()
+            .clone();
+        assert_eq!(h.measure(w.as_ref(), policy), warmed);
     }
 }

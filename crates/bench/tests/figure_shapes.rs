@@ -41,7 +41,9 @@ fn uncontended_benchmarks_are_flat() {
 #[test]
 fn chats_cuts_aborts_on_contention() {
     let h = harness();
-    let base = h.measure_named("kmeans-h", HtmSystem::Baseline).total_aborts();
+    let base = h
+        .measure_named("kmeans-h", HtmSystem::Baseline)
+        .total_aborts();
     let chats = h.measure_named("kmeans-h", HtmSystem::Chats).total_aborts();
     assert!(chats < base, "CHATS aborts {chats} !< baseline {base}");
 }
@@ -98,10 +100,16 @@ fn chats_prefers_many_retries() {
     let h = harness();
     let w = registry::by_name("kmeans-h").unwrap();
     let one = h
-        .measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats).with_retries(1))
+        .measure(
+            w.as_ref(),
+            PolicyConfig::for_system(HtmSystem::Chats).with_retries(1),
+        )
         .cycles;
     let many = h
-        .measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats).with_retries(32))
+        .measure(
+            w.as_ref(),
+            PolicyConfig::for_system(HtmSystem::Chats).with_retries(32),
+        )
         .cycles;
     assert!(
         many <= one,
@@ -114,10 +122,16 @@ fn vsb_four_matches_vsb_thirty_two() {
     let h = harness();
     let w = registry::by_name("kmeans-h").unwrap();
     let four = h
-        .measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats).with_vsb_size(4))
+        .measure(
+            w.as_ref(),
+            PolicyConfig::for_system(HtmSystem::Chats).with_vsb_size(4),
+        )
         .cycles as f64;
     let thirty_two = h
-        .measure(w.as_ref(), PolicyConfig::for_system(HtmSystem::Chats).with_vsb_size(32))
+        .measure(
+            w.as_ref(),
+            PolicyConfig::for_system(HtmSystem::Chats).with_vsb_size(32),
+        )
         .cycles as f64;
     let ratio = four / thirty_two;
     assert!(
@@ -130,7 +144,9 @@ fn vsb_four_matches_vsb_thirty_two() {
 fn chats_beats_idealized_levc_on_intruder() {
     let h = harness();
     let chats = h.measure_named("intruder", HtmSystem::Chats).cycles;
-    let levc = h.measure_named("intruder", HtmSystem::LevcBeIdealized).cycles;
+    let levc = h
+        .measure_named("intruder", HtmSystem::LevcBeIdealized)
+        .cycles;
     assert!(
         chats < levc,
         "Fig. 11 shape: PiC context must beat static timestamps on intruder"
@@ -142,7 +158,15 @@ fn every_experiment_id_runs_at_quick_scale() {
     // Smoke the whole harness surface: most ids share the memoized cells,
     // so this stays fast while covering fig5/6/7 code paths.
     let h = harness();
-    for id in ["table1", "table2", "fig5", "fig6", "chains", "ablations", "picwidth"] {
+    for id in [
+        "table1",
+        "table2",
+        "fig5",
+        "fig6",
+        "chains",
+        "ablations",
+        "picwidth",
+    ] {
         let t = chats_bench::figures::run_by_name(&h, id);
         assert!(!t.is_empty(), "{id} produced an empty table");
     }

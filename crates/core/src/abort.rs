@@ -4,11 +4,11 @@
 //! caused the abort; this enum is that split, shared by the HTM engine and
 //! the statistics layer.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a transaction aborted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AbortCause {
     /// A conflicting access resolved against this transaction
     /// (requester-wins victim, power-transaction priority, ...).

@@ -335,13 +335,12 @@ mod tests {
                     {
                         let producer = local_pic_after.value().expect("forward sets PiC");
                         // What does the consumer end up with?
-                        let consumer_after = match chats_receive_spec(
-                            ctx(remote, remote.is_set()),
-                            local_pic_after,
-                        ) {
-                            SpecRespAction::Accept { new_pic } => new_pic,
-                            SpecRespAction::AbortSelf => continue, // no edge created
-                        };
+                        let consumer_after =
+                            match chats_receive_spec(ctx(remote, remote.is_set()), local_pic_after)
+                            {
+                                SpecRespAction::Accept { new_pic } => new_pic,
+                                SpecRespAction::AbortSelf => continue, // no edge created
+                            };
                         let consumer = consumer_after.value().expect("consumer PiC set");
                         assert!(
                             producer > consumer,

@@ -14,11 +14,11 @@
 //! * the scheme is unaware of forwarding dependencies, which is what makes
 //!   it liable to wasted forwardings (§II).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An idealized transaction timestamp: smaller is older.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Timestamp(pub u64);
 
 impl fmt::Display for Timestamp {

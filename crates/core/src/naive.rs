@@ -34,7 +34,10 @@ impl NaiveValidationCounter {
     /// Panics if `bits` is 0 or larger than 16.
     #[must_use]
     pub fn new(bits: u32) -> NaiveValidationCounter {
-        assert!((1..=16).contains(&bits), "counter bits out of range: {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "counter bits out of range: {bits}"
+        );
         let budget = 1u32 << bits;
         NaiveValidationCounter {
             budget,
@@ -74,7 +77,10 @@ mod tests {
     fn four_bits_allow_sixteen_attempts() {
         let mut c = NaiveValidationCounter::new(4);
         for i in 0..15 {
-            assert!(!c.on_unsuccessful_validation(), "attempt {i} must not abort");
+            assert!(
+                !c.on_unsuccessful_validation(),
+                "attempt {i} must not abort"
+            );
         }
         assert!(c.on_unsuccessful_validation());
     }

@@ -6,7 +6,6 @@
 //! the PiC of every transaction that has received speculative data from it.
 //! One encoding is reserved for "not part of any chain" (PiC∅).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of usable PiC values in the paper's default configuration
@@ -33,7 +32,8 @@ pub const PIC_ENCODING_LIMIT: u8 = u8::MAX;
 /// assert!(Pic::unset().is_unset());
 /// assert!(Pic::new(0).decremented().is_none()); // underflow
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pic(Option<u8>);
 
 impl Pic {
@@ -154,7 +154,8 @@ impl fmt::Display for Pic {
 /// The per-core chaining context consulted on every conflict: the PiC plus
 /// the `Cons` bit, which records whether the transaction is currently
 /// consuming speculative data pending validation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PicContext {
     /// Position in chain.
     pub pic: Pic,

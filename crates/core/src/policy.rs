@@ -1,11 +1,11 @@
 //! The six evaluated HTM systems and their configuration (Table II).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which transactional blocks are eligible for speculative forwarding
 /// (§VI-D "Blocks that can be forwarded").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ForwardSet {
     /// `R/W`: read- and write-set blocks may be forwarded.
     ReadWrite,
@@ -48,7 +48,8 @@ impl fmt::Display for ForwardSet {
 }
 
 /// The HTM system under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HtmSystem {
     /// Intel-RTM-like best-effort baseline: requester-wins, lazy
     /// versioning, eager conflict detection.
@@ -110,7 +111,8 @@ impl fmt::Display for HtmSystem {
 }
 
 /// Full per-system configuration: Table II of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PolicyConfig {
     /// The system being run.
     pub system: HtmSystem,
@@ -137,7 +139,8 @@ pub struct PolicyConfig {
 
 /// Ablations of individual CHATS design choices, used by the ablation
 /// harness to quantify what each mechanism contributes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ablation {
     /// Disable the Fig. 3F rule: a transaction whose consumptions are all
     /// validated may NOT raise its PiC past a higher requester; the
@@ -166,26 +169,14 @@ impl PolicyConfig {
             pic_bits: 5,
         };
         match system {
-            HtmSystem::Baseline => PolicyConfig {
-                retries: 6,
-                ..base
-            },
-            HtmSystem::NaiveRs => PolicyConfig {
-                retries: 2,
-                ..base
-            },
+            HtmSystem::Baseline => PolicyConfig { retries: 6, ..base },
+            HtmSystem::NaiveRs => PolicyConfig { retries: 2, ..base },
             HtmSystem::Chats => PolicyConfig {
                 retries: 32,
                 ..base
             },
-            HtmSystem::Power => PolicyConfig {
-                retries: 2,
-                ..base
-            },
-            HtmSystem::Pchats => PolicyConfig {
-                retries: 1,
-                ..base
-            },
+            HtmSystem::Power => PolicyConfig { retries: 2, ..base },
+            HtmSystem::Pchats => PolicyConfig { retries: 1, ..base },
             HtmSystem::LevcBeIdealized => PolicyConfig {
                 retries: 64,
                 validation_interval: 0,
@@ -260,7 +251,10 @@ mod tests {
         assert_eq!(PolicyConfig::for_system(HtmSystem::Chats).retries, 32);
         assert_eq!(PolicyConfig::for_system(HtmSystem::Power).retries, 2);
         assert_eq!(PolicyConfig::for_system(HtmSystem::Pchats).retries, 1);
-        assert_eq!(PolicyConfig::for_system(HtmSystem::LevcBeIdealized).retries, 64);
+        assert_eq!(
+            PolicyConfig::for_system(HtmSystem::LevcBeIdealized).retries,
+            64
+        );
     }
 
     #[test]
@@ -333,7 +327,10 @@ mod tests {
         let c = PolicyConfig::for_system(HtmSystem::Chats);
         assert!(!c.ablation.no_pic_overtake);
         assert!(!c.ablation.single_link_chains);
-        let ab = Ablation { no_pic_overtake: true, single_link_chains: false };
+        let ab = Ablation {
+            no_pic_overtake: true,
+            single_link_chains: false,
+        };
         assert!(c.with_ablation(ab).ablation.no_pic_overtake);
     }
 

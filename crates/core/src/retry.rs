@@ -172,7 +172,10 @@ mod tests {
     fn power_requested_after_second_conflict_abort() {
         let mut rm = RetryManager::new(10, Some(2));
         assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Retry);
-        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::RequestPower);
+        assert_eq!(
+            rm.on_abort(AbortCause::Conflict),
+            RetryVerdict::RequestPower
+        );
     }
 
     #[test]
@@ -196,7 +199,10 @@ mod tests {
     #[test]
     fn fallback_beats_power() {
         let mut rm = RetryManager::new(1, Some(1));
-        assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::RequestPower);
+        assert_eq!(
+            rm.on_abort(AbortCause::Conflict),
+            RetryVerdict::RequestPower
+        );
         assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Fallback);
     }
 

@@ -92,12 +92,8 @@ impl World {
                         self.txs[req].ctx.pic = new_pic;
                         self.txs[req].ctx.cons = true;
                         self.txs[req].producers.push(owner);
-                        self.edges.push((
-                            req,
-                            self.txs[req].gen,
-                            owner,
-                            self.txs[owner].gen,
-                        ));
+                        self.edges
+                            .push((req, self.txs[req].gen, owner, self.txs[owner].gen));
                     }
                     SpecRespAction::AbortSelf => self.abort(req),
                 }
@@ -111,9 +107,9 @@ impl World {
     fn try_commit(&mut self, i: usize) -> bool {
         let producers_alive = {
             let tx = &self.txs[i];
-            self.edges.iter().any(|(c, cg, p, pg)| {
-                *c == i && *cg == tx.gen && self.txs[*p].gen == *pg
-            })
+            self.edges
+                .iter()
+                .any(|(c, cg, p, pg)| *c == i && *cg == tx.gen && self.txs[*p].gen == *pg)
         };
         if producers_alive {
             return false; // validation cannot complete yet

@@ -87,7 +87,13 @@ impl Machine {
         }
     }
 
-    fn decide_chats(&mut self, core: usize, req: &Request, in_ws: bool, has_copy: bool) -> OwnerAction {
+    fn decide_chats(
+        &mut self,
+        core: usize,
+        req: &Request,
+        in_ws: bool,
+        has_copy: bool,
+    ) -> OwnerAction {
         if !self.forwarding_allowed(core, req, in_ws, has_copy) {
             return OwnerAction::AbortSelf;
         }

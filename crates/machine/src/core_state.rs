@@ -1,8 +1,7 @@
 //! Per-core simulation state: L1, HTM engine registers, VM bookkeeping.
 
 use chats_core::{
-    LevcArbiter, NaiveValidationCounter, PicContext, RetryManager, Timestamp,
-    ValidationStateBuffer,
+    LevcArbiter, NaiveValidationCounter, PicContext, RetryManager, Timestamp, ValidationStateBuffer,
 };
 use chats_mem::{Addr, Cache, LineAddr, ReadSignature};
 use chats_tvm::{Vm, VmSnapshot};
@@ -181,10 +180,7 @@ mod tests {
     #[test]
     fn predictor_is_per_site() {
         let mut c = core();
-        c.write_predictor
-            .entry(10)
-            .or_default()
-            .insert(LineAddr(5));
+        c.write_predictor.entry(10).or_default().insert(LineAddr(5));
         c.tx_site = 10;
         assert!(c.predicted_writes().unwrap().contains(&LineAddr(5)));
         c.tx_site = 20;

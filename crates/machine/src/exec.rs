@@ -65,7 +65,14 @@ impl Machine {
 
     /// Services one memory access. Returns `true` if it completed locally
     /// (the burst continues) or `false` if the core is now waiting.
-    fn access(&mut self, core: usize, addr: Addr, is_store: bool, value: u64, acc: &mut u64) -> bool {
+    fn access(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        is_store: bool,
+        value: u64,
+        acc: &mut u64,
+    ) -> bool {
         let line = addr.line();
         let hit_latency = self.cfg.mem.l1_hit_latency;
         let in_tx = self.cores[core].in_tx();
@@ -255,7 +262,10 @@ impl Machine {
             p
         };
         self.stats.commits += 1;
-        self.trace.record(TraceEvent::Commit { at: self.clock, core });
+        self.trace.record(TraceEvent::Commit {
+            at: self.clock,
+            core,
+        });
         if self.cores[core].attempt_conflicted {
             self.stats.conflicted_outcomes.committed += 1;
         }
@@ -273,7 +283,11 @@ impl Machine {
     pub(crate) fn do_abort(&mut self, core: usize, cause: AbortCause) {
         debug_assert!(self.cores[core].in_tx(), "abort outside a transaction");
         self.stats.record_abort(cause);
-        self.trace.record(TraceEvent::Abort { at: self.clock, core, cause });
+        self.trace.record(TraceEvent::Abort {
+            at: self.clock,
+            core,
+            cause,
+        });
         if self.cores[core].attempt_conflicted {
             self.stats.conflicted_outcomes.aborted += 1;
         }
@@ -283,13 +297,15 @@ impl Machine {
         let verdict = {
             let c = &mut self.cores[core];
             // Train the Rrestrict/W predictor with this attempt's writes.
-            let written: Vec<LineAddr> = c
-                .l1
-                .iter()
-                .filter(|e| e.sm && !e.spec_received)
-                .map(|e| e.addr)
-                .collect();
-            c.write_predictor.entry(c.tx_site).or_default().extend(written);
+            let written: Vec<LineAddr> =
+                c.l1.iter()
+                    .filter(|e| e.sm && !e.spec_received)
+                    .map(|e| e.addr)
+                    .collect();
+            c.write_predictor
+                .entry(c.tx_site)
+                .or_default()
+                .extend(written);
             c.l1.gang_invalidate_speculative();
             c.read_sig.clear();
             c.vsb.clear();
@@ -312,17 +328,20 @@ impl Machine {
             RetryVerdict::Retry => {
                 self.cores[core].awaiting_retry = true;
                 let d = self.backoff(core);
-                self.events.push(self.clock + d, Event::RetryTx { core, epoch });
+                self.events
+                    .push(self.clock + d, Event::RetryTx { core, epoch });
             }
             RetryVerdict::RequestPower => {
                 self.cores[core].awaiting_retry = true;
                 if self.token.try_acquire(core) {
                     self.cores[core].is_power = true;
                     self.stats.power_grants += 1;
-                    self.events.push(self.clock + 1, Event::RetryTx { core, epoch });
+                    self.events
+                        .push(self.clock + 1, Event::RetryTx { core, epoch });
                 } else {
                     let d = self.backoff(core);
-                    self.events.push(self.clock + d, Event::RetryTx { core, epoch });
+                    self.events
+                        .push(self.clock + d, Event::RetryTx { core, epoch });
                 }
             }
             RetryVerdict::Fallback => {
@@ -334,7 +353,8 @@ impl Machine {
                         self.stats.power_grants += 1;
                         self.stats.fallback_acquisitions += 1;
                         self.cores[core].awaiting_retry = true;
-                        self.events.push(self.clock + 1, Event::RetryTx { core, epoch });
+                        self.events
+                            .push(self.clock + 1, Event::RetryTx { core, epoch });
                     } else {
                         self.cores[core].waiting = WaitReason::PowerToken;
                         self.cores[core].awaiting_retry = true;
@@ -362,7 +382,10 @@ impl Machine {
     /// running transaction aborts through its eager lock subscription.
     fn enter_fallback(&mut self, core: usize) {
         self.stats.fallback_acquisitions += 1;
-        self.trace.record(TraceEvent::Fallback { at: self.clock, core });
+        self.trace.record(TraceEvent::Fallback {
+            at: self.clock,
+            core,
+        });
         for other in 0..self.cores.len() {
             if other != core && self.cores[other].in_tx() {
                 self.do_abort(other, AbortCause::FallbackLock);
@@ -371,7 +394,8 @@ impl Machine {
         let c = &mut self.cores[core];
         c.mode = ExecMode::Fallback;
         let epoch = c.epoch;
-        self.events.push(self.clock + 1, Event::CoreStep { core, epoch });
+        self.events
+            .push(self.clock + 1, Event::CoreStep { core, epoch });
     }
 
     /// Handles a `RetryTx` event: resume whatever the core is waiting for.
@@ -416,7 +440,8 @@ impl Machine {
         self.cores[core].awaiting_retry = false;
         self.begin_attempt(core);
         let epoch = self.cores[core].epoch;
-        self.events.push(self.clock + 1, Event::CoreStep { core, epoch });
+        self.events
+            .push(self.clock + 1, Event::CoreStep { core, epoch });
     }
 
     /// Re-issues a nacked demand request.
@@ -432,14 +457,16 @@ impl Machine {
         for core in 0..self.cores.len() {
             if self.cores[core].waiting == WaitReason::LockToAcquire {
                 let epoch = self.cores[core].epoch;
-                self.events.push(self.clock + delay, Event::RetryTx { core, epoch });
+                self.events
+                    .push(self.clock + delay, Event::RetryTx { core, epoch });
                 delay += 1;
             }
         }
         for core in 0..self.cores.len() {
             if self.cores[core].waiting == WaitReason::LockToStart {
                 let epoch = self.cores[core].epoch;
-                self.events.push(self.clock + delay, Event::RetryTx { core, epoch });
+                self.events
+                    .push(self.clock + delay, Event::RetryTx { core, epoch });
                 delay += 1;
             }
         }
@@ -451,7 +478,8 @@ impl Machine {
         for core in 0..self.cores.len() {
             if self.cores[core].waiting == WaitReason::PowerToken {
                 let epoch = self.cores[core].epoch;
-                self.events.push(self.clock + delay, Event::RetryTx { core, epoch });
+                self.events
+                    .push(self.clock + delay, Event::RetryTx { core, epoch });
                 delay += 1;
             }
         }

@@ -4,8 +4,8 @@ use crate::core_state::CoreState;
 use crate::dir::Directory;
 use crate::msg::{CoreMsg, DirMsg, Event, Request};
 use crate::trace::{Trace, TraceEvent};
-use chats_core::{PolicyConfig, PowerToken, TimestampSource};
 use chats_core::retry::FallbackLock;
+use chats_core::{PolicyConfig, PowerToken, TimestampSource};
 use chats_mem::{Addr, CoherenceState};
 use chats_noc::{Crossbar, MsgClass, NodeId};
 use chats_sim::{Cycle, EventQueue, SimRng, SystemConfig};
@@ -75,10 +75,16 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Timeout { at_cycle } => {
-                write!(f, "simulation exceeded its cycle budget at cycle {at_cycle}")
+                write!(
+                    f,
+                    "simulation exceeded its cycle budget at cycle {at_cycle}"
+                )
             }
             SimError::Deadlock { at_cycle, detail } => {
-                write!(f, "event queue drained with live threads at cycle {at_cycle}:\n{detail}")
+                write!(
+                    f,
+                    "event queue drained with live threads at cycle {at_cycle}:\n{detail}"
+                )
             }
         }
     }
@@ -283,7 +289,13 @@ impl Machine {
     pub fn debug_dump(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "clock={} events={} halted={}", self.clock, self.events.len(), self.halted);
+        let _ = writeln!(
+            s,
+            "clock={} events={} halted={}",
+            self.clock,
+            self.events.len(),
+            self.halted
+        );
         for (i, c) in self.cores.iter().enumerate() {
             let _ = writeln!(
                 s,
@@ -312,7 +324,8 @@ impl Machine {
             if self.cores[core].vm.is_some() && !self.cores[core].halted {
                 let epoch = self.cores[core].epoch;
                 // Slight stagger breaks artificial lockstep between threads.
-                self.events.push(Cycle(core as u64), Event::CoreStep { core, epoch });
+                self.events
+                    .push(Cycle(core as u64), Event::CoreStep { core, epoch });
             }
         }
         while let Some((t, ev)) = self.events.pop() {
@@ -383,15 +396,29 @@ impl Machine {
 
     /// Sends a message from a core to the directory, injecting at
     /// `clock + delay`.
-    pub(crate) fn send_to_dir(&mut self, from_core: usize, class: MsgClass, msg: DirMsg, delay: u64) {
+    pub(crate) fn send_to_dir(
+        &mut self,
+        from_core: usize,
+        class: MsgClass,
+        msg: DirMsg,
+        delay: u64,
+    ) {
         let at = self.clock + delay;
-        let arrive = self.xbar.send(at, NodeId(from_core), self.dir_node(), class);
+        let arrive = self
+            .xbar
+            .send(at, NodeId(from_core), self.dir_node(), class);
         self.events.push(arrive, Event::DirRecv(msg));
     }
 
     /// Sends a message from the directory to a core, injecting at
     /// `clock + delay`.
-    pub(crate) fn dir_send_to_core(&mut self, core: usize, class: MsgClass, msg: CoreMsg, delay: u64) {
+    pub(crate) fn dir_send_to_core(
+        &mut self,
+        core: usize,
+        class: MsgClass,
+        msg: CoreMsg,
+        delay: u64,
+    ) {
         let at = self.clock + delay;
         let arrive = self.xbar.send(at, self.dir_node(), NodeId(core), class);
         self.events.push(arrive, Event::CoreRecv { core, msg });

@@ -33,7 +33,10 @@ impl Machine {
         if self.watching(req.line) {
             let msg = format!(
                 "dir_process core{} getx={} epoch={} state={:?}",
-                req.core, req.getx, req.epoch, self.dir.state_of(req.line)
+                req.core,
+                req.getx,
+                req.epoch,
+                self.dir.state_of(req.line)
             );
             self.watch_push(msg);
         }
@@ -231,7 +234,12 @@ impl Machine {
         match msg {
             CoreMsg::Probe { req } => self.core_probe(core, req),
             CoreMsg::Inv { req } => self.core_inv(core, req),
-            CoreMsg::Data { line, data, excl, epoch } => {
+            CoreMsg::Data {
+                line,
+                data,
+                excl,
+                epoch,
+            } => {
                 if epoch != self.cores[core].epoch {
                     self.stale_data(core, line, data, excl);
                 } else if self.cores[core].val_req == Some(line) {
@@ -240,7 +248,12 @@ impl Machine {
                     self.demand_data(core, line, data, excl);
                 }
             }
-            CoreMsg::SpecResp { line, data, pic, epoch } => {
+            CoreMsg::SpecResp {
+                line,
+                data,
+                pic,
+                epoch,
+            } => {
                 if epoch != self.cores[core].epoch {
                     // Stale hint: nothing to undo, ownership never moved.
                 } else if self.cores[core].val_req == Some(line) {
@@ -259,7 +272,8 @@ impl Machine {
                 } else if self.cores[core].pending_mem.is_some() {
                     let d = self.tuning.stall_delay + self.rng.below(self.tuning.stall_delay);
                     let epoch = self.cores[core].epoch;
-                    self.events.push(self.clock + d, Event::MemRetry { core, epoch });
+                    self.events
+                        .push(self.clock + d, Event::MemRetry { core, epoch });
                 }
             }
         }
@@ -409,7 +423,12 @@ impl Machine {
                 1,
             );
         }
-        self.send_to_dir(core, MsgClass::Control, DirMsg::ProbeDone { req, outcome }, 1);
+        self.send_to_dir(
+            core,
+            MsgClass::Control,
+            DirMsg::ProbeDone { req, outcome },
+            1,
+        );
     }
 
     /// Invalidation of a shared copy; conflicts resolve requester-wins
@@ -501,12 +520,11 @@ impl Machine {
                 if in_tx {
                     c.read_sig.insert(line);
                 }
-                let v = c
-                    .l1
-                    .lookup(line)
-                    .expect("line just inserted")
-                    .data
-                    .read(pm.addr);
+                let v =
+                    c.l1.lookup(line)
+                        .expect("line just inserted")
+                        .data
+                        .read(pm.addr);
                 if in_tx {
                     c.oracle.note_read(pm.addr, v);
                 }
@@ -520,7 +538,13 @@ impl Machine {
 
     /// A speculative response for a demand miss: the consumer side of the
     /// requester-speculates policy (§IV-A).
-    fn demand_spec(&mut self, core: usize, line: LineAddr, data: Line, pic: Option<chats_core::Pic>) {
+    fn demand_spec(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        data: Line,
+        pic: Option<chats_core::Pic>,
+    ) {
         if self.watching(line) {
             let msg = format!("demand_spec core{core} pic={pic:?} data={data:?}");
             self.watch_push(msg);
@@ -537,9 +561,8 @@ impl Machine {
                         SpecRespAction::Accept { new_pic } => {
                             self.cores[core].pic.pic = new_pic;
                             if let Some(v) = new_pic.value() {
-                                let init = chats_core::Pic::INIT
-                                    .value()
-                                    .expect("INIT is a set PiC");
+                                let init =
+                                    chats_core::Pic::INIT.value().expect("INIT is a set PiC");
                                 self.stats.record_chain_depth(v.abs_diff(init).into());
                             }
                         }
@@ -569,7 +592,8 @@ impl Machine {
             self.stats.nacks += 1;
             let d = self.tuning.stall_delay;
             let epoch = self.cores[core].epoch;
-            self.events.push(self.clock + d, Event::MemRetry { core, epoch });
+            self.events
+                .push(self.clock + d, Event::MemRetry { core, epoch });
             return;
         }
         self.cores[core].pic.cons = true;

@@ -94,9 +94,18 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Abort { at, core, cause } => {
                 write!(f, "[{at:>8}] core{core} abort ({cause})")
             }
-            TraceEvent::Forward { at, from, to, line, pic } => match pic {
+            TraceEvent::Forward {
+                at,
+                from,
+                to,
+                line,
+                pic,
+            } => match pic {
                 Some(p) => write!(f, "[{at:>8}] core{from} -> core{to} SpecResp {line} {p}"),
-                None => write!(f, "[{at:>8}] core{from} -> core{to} SpecResp {line} (no PiC)"),
+                None => write!(
+                    f,
+                    "[{at:>8}] core{from} -> core{to} SpecResp {line} (no PiC)"
+                ),
             },
             TraceEvent::Validated { at, core, line } => {
                 write!(f, "[{at:>8}] core{core} validated {line}")
@@ -138,7 +147,10 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::default();
-        t.record(TraceEvent::TxBegin { at: Cycle(1), core: 0 });
+        t.record(TraceEvent::TxBegin {
+            at: Cycle(1),
+            core: 0,
+        });
         assert!(t.events().is_empty());
     }
 
@@ -147,7 +159,10 @@ mod tests {
         let mut t = Trace::default();
         t.enable(2);
         for i in 0..5 {
-            t.record(TraceEvent::Commit { at: Cycle(i), core: 0 });
+            t.record(TraceEvent::Commit {
+                at: Cycle(i),
+                core: 0,
+            });
         }
         assert_eq!(t.events().len(), 2);
     }

@@ -114,7 +114,13 @@ impl Machine {
 
     /// A validation probe was answered speculatively again: the producer is
     /// still running. Check values and PiCs; retry later.
-    pub(crate) fn validation_spec(&mut self, core: usize, line: LineAddr, data: Line, pic: Option<Pic>) {
+    pub(crate) fn validation_spec(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        data: Line,
+        pic: Option<Pic>,
+    ) {
         if self.watching(line) {
             let msg = format!("validation_spec core{core} data={data:?}");
             self.watch_push(msg);

@@ -38,9 +38,9 @@ fn counter_torture(iters: u64, counters_per_tx: u64, pool_lines: u64) -> chats_t
     b.add(k, i, j);
     b.add(k, k, tid);
     b.remi(k, k, 1); // placeholder, replaced below by pool mod via register
-    // Compute k % pool with a loop-free trick: k - (k / pool) * pool needs
-    // register division; emulate with repeated subtraction is costly, so
-    // use bitmask when pool is a power of two.
+                     // Compute k % pool with a loop-free trick: k - (k / pool) * pool needs
+                     // register division; emulate with repeated subtraction is costly, so
+                     // use bitmask when pool is a power of two.
     assert!(pool_lines.is_power_of_two(), "pool must be a power of two");
     b.add(k, i, j);
     b.add(k, k, tid);
@@ -66,7 +66,12 @@ fn run_torture(system: HtmSystem, threads: usize, seed: u64) -> (Machine, chats_
     let prog = counter_torture(iters, per_tx, pool);
     let mut sys = SystemConfig::small_test();
     sys.core.cores = threads;
-    let mut m = Machine::new(sys, PolicyConfig::for_system(system), Tuning::default(), seed);
+    let mut m = Machine::new(
+        sys,
+        PolicyConfig::for_system(system),
+        Tuning::default(),
+        seed,
+    );
     for t in 0..threads {
         let mut vm = Vm::new(prog.clone(), seed + t as u64);
         vm.preset_reg(Reg(8), t as u64);

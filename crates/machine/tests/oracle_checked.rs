@@ -50,7 +50,12 @@ fn kernel(iters: u64) -> chats_tvm::Program {
 fn run_checked(system: HtmSystem, seed: u64) {
     let mut sys = SystemConfig::small_test();
     sys.core.cores = 4;
-    let mut m = Machine::new(sys, PolicyConfig::for_system(system), checked_tuning(), seed);
+    let mut m = Machine::new(
+        sys,
+        PolicyConfig::for_system(system),
+        checked_tuning(),
+        seed,
+    );
     for t in 0..4 {
         m.load_thread(t, Vm::new(kernel(25), seed ^ (t as u64) << 9));
     }

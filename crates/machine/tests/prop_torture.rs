@@ -12,8 +12,7 @@ use proptest::prelude::*;
 /// Each thread runs `iters` transactions, each incrementing `per_tx`
 /// random counters from a pool of `pool` lines (pool is a power of two).
 fn torture_program(iters: u64, per_tx: u64, pool: u64) -> chats_tvm::Program {
-    let (i, n, j, k, addr, v, bound) =
-        (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let (i, n, j, k, addr, v, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
     let mut b = ProgramBuilder::new();
     b.imm(i, 0).imm(n, iters);
     let outer = b.label();

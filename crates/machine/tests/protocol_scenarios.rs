@@ -11,7 +11,12 @@ use chats_tvm::{Program, ProgramBuilder, Reg, Vm};
 fn machine_with(system: HtmSystem, cores: usize, seed: u64) -> Machine {
     let mut sys = SystemConfig::default();
     sys.core.cores = cores;
-    Machine::new(sys, PolicyConfig::for_system(system), Tuning::default(), seed)
+    Machine::new(
+        sys,
+        PolicyConfig::for_system(system),
+        Tuning::default(),
+        seed,
+    )
 }
 
 /// Writes `value` at word `addr` inside a transaction, lingering `linger`
@@ -126,7 +131,11 @@ fn read_set_blocks_are_forwardable() {
     m.load_thread(0, Vm::new(b0.build(), 1));
     m.load_thread(1, Vm::new(tx_writer(0, 9, 200, 0), 2));
     let s = m.run(1_000_000).unwrap();
-    assert_eq!(m.inspect_word(Addr(512)), 7, "reader observed pre-write value");
+    assert_eq!(
+        m.inspect_word(Addr(512)),
+        7,
+        "reader observed pre-write value"
+    );
     assert_eq!(m.inspect_word(Addr(0)), 9, "writer's value committed");
     assert!(
         s.forwardings >= 1,

@@ -18,7 +18,7 @@ fn reader(sets: u64, ways: u64) -> chats_tvm::Program {
     b.tx_begin();
     b.imm(a, 0);
     b.load(v, a); // the protected read
-    // Evict line 0: fill its set with `ways + 1` other lines.
+                  // Evict line 0: fill its set with `ways + 1` other lines.
     for k in 1..=(ways + 1) {
         b.imm(a, k * sets * 8);
         b.load(out, a);
@@ -66,7 +66,10 @@ fn evicted_reader_keeps_isolation_under_chats() {
     assert_eq!(line0, 1, "the writer's increment must commit");
     // Serializable outcomes: reader before writer (saw 0) or after (saw 1).
     // The oracle (armed) would have panicked on any non-serializable mix.
-    assert!(observed == 0 || observed == 1, "impossible observation {observed}");
+    assert!(
+        observed == 0 || observed == 1,
+        "impossible observation {observed}"
+    );
     // If the reader serialized after the writer, it must have been aborted
     // and re-executed at least once.
     if observed == 1 {

@@ -1,6 +1,5 @@
 //! Word and cache-line addresses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Words per 64-byte cache line (8 × u64).
@@ -19,7 +18,8 @@ pub const WORDS_PER_LINE: u64 = 8;
 /// assert_eq!(a.line().index(), 19 / WORDS_PER_LINE);
 /// assert_eq!(a.offset_in_line(), 3);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -55,7 +55,8 @@ impl fmt::Display for Addr {
 }
 
 /// A cache-line address (word address divided by 8).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {

@@ -95,7 +95,10 @@ impl fmt::Debug for Cache {
         f.debug_struct("Cache")
             .field("sets", &self.sets)
             .field("ways", &self.ways)
-            .field("resident", &self.entries.iter().map(Vec::len).sum::<usize>())
+            .field(
+                "resident",
+                &self.entries.iter().map(Vec::len).sum::<usize>(),
+            )
             .finish()
     }
 }

@@ -1,7 +1,6 @@
 //! Cache-line data payloads.
 
 use crate::addr::{Addr, WORDS_PER_LINE};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The data contents of one 64-byte cache line: eight 64-bit words.
@@ -20,7 +19,8 @@ use std::fmt;
 /// assert_eq!(l.read(Addr(3)), 42);
 /// assert_eq!(l.read(Addr(11)), 42); // offsets wrap within the line
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Line {
     words: [u64; WORDS_PER_LINE as usize],
 }

@@ -25,11 +25,11 @@
 //! ```
 
 use chats_sim::{Cycle, NocConfig};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A network endpoint: core caches `0..n`, then the directory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -39,7 +39,8 @@ impl fmt::Display for NodeId {
 }
 
 /// Message size class, which determines the flit count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MsgClass {
     /// Requests, acks, nacks, unblocks: 1 flit.
     Control,
@@ -146,13 +147,19 @@ mod tests {
     fn control_message_latency() {
         let mut x = xbar(2);
         // 1 flit serialization + 1 cycle link.
-        assert_eq!(x.send(Cycle(0), NodeId(0), NodeId(1), MsgClass::Control), Cycle(2));
+        assert_eq!(
+            x.send(Cycle(0), NodeId(0), NodeId(1), MsgClass::Control),
+            Cycle(2)
+        );
     }
 
     #[test]
     fn data_message_latency() {
         let mut x = xbar(2);
-        assert_eq!(x.send(Cycle(10), NodeId(1), NodeId(0), MsgClass::Data), Cycle(16));
+        assert_eq!(
+            x.send(Cycle(10), NodeId(1), NodeId(0), MsgClass::Data),
+            Cycle(16)
+        );
     }
 
     #[test]
@@ -178,7 +185,10 @@ mod tests {
         let mut x = xbar(2);
         x.send(Cycle(0), NodeId(0), NodeId(1), MsgClass::Data);
         // Long after the port drained, no queuing delay remains.
-        assert_eq!(x.send(Cycle(100), NodeId(0), NodeId(1), MsgClass::Control), Cycle(102));
+        assert_eq!(
+            x.send(Cycle(100), NodeId(0), NodeId(1), MsgClass::Control),
+            Cycle(102)
+        );
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! `chats-run`: the experiment-runner command line.
+//!
+//! ```text
+//! chats-run list [SET...] [--smoke] [--filter S]
+//! chats-run run  [SET...] [--jobs N] [--filter S] [--no-cache] [--smoke]
+//!                [--timeout-secs N] [--retries N] [--verify-determinism]
+//!                [--cache-dir D] [--runs-dir D] [--quiet]
+//! chats-run clean [--cache-dir D] [--runs-dir D] [--runs]
+//! ```
+//!
+//! `run` executes the named experiment sets (default: `fig4 fig5`) on
+//! the worker pool, writes a JSON manifest under `target/chats-runs/`
+//! and prints a summary. `--smoke` switches to the 4-core quick-test
+//! machine with the atomicity oracle armed.
+
+use chats_runner::{
+    default_cache_dir, default_runs_dir, experiments, summary_table, write_manifest, DiskCache,
+    Runner, RunnerConfig, Scale,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: chats-run <command> [args]
+
+commands:
+  list  [SET...]            show the jobs of the named sets (default: all)
+  run   [SET...]            execute the named sets (default: fig4 fig5)
+  clean                     delete the result cache (and, with --runs, manifests)
+
+options (run):
+  --jobs N                  worker threads (default: available parallelism)
+  --filter S                keep only jobs whose label contains S
+  --no-cache                ignore and do not write the disk cache
+  --smoke                   quick-test scale: 4 cores, atomicity oracle on
+  --timeout-secs N          per-attempt wall-clock budget (default 900)
+  --retries N               extra attempts after a panic/timeout (default 1)
+  --verify-determinism      run every executed job twice, demand identical stats
+  --cache-dir D             cache directory (default target/chats-cache)
+  --runs-dir D              manifest directory (default target/chats-runs)
+  --quiet                   no per-job progress lines
+
+sets: fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+      scaling picwidth chains ablations headline all";
+
+struct Args {
+    command: String,
+    sets: Vec<String>,
+    jobs: Option<usize>,
+    filter: Option<String>,
+    no_cache: bool,
+    smoke: bool,
+    timeout_secs: Option<u64>,
+    retries: Option<u32>,
+    verify_determinism: bool,
+    cache_dir: Option<PathBuf>,
+    runs_dir: Option<PathBuf>,
+    quiet: bool,
+    clean_runs: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        sets: Vec::new(),
+        jobs: None,
+        filter: None,
+        no_cache: false,
+        smoke: false,
+        timeout_secs: None,
+        retries: None,
+        verify_determinism: false,
+        cache_dir: None,
+        runs_dir: None,
+        quiet: false,
+        clean_runs: false,
+    };
+    while let Some(arg) = argv.next() {
+        let mut value = |what: &str| argv.next().ok_or_else(|| format!("{what} needs a value"));
+        match arg.as_str() {
+            "--jobs" => args.jobs = Some(parse_num(&value("--jobs")?, "--jobs")?),
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--no-cache" => args.no_cache = true,
+            "--smoke" => args.smoke = true,
+            "--timeout-secs" => {
+                args.timeout_secs = Some(parse_num(&value("--timeout-secs")?, "--timeout-secs")?);
+            }
+            "--retries" => args.retries = Some(parse_num(&value("--retries")?, "--retries")?),
+            "--verify-determinism" => args.verify_determinism = true,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--runs-dir" => args.runs_dir = Some(PathBuf::from(value("--runs-dir")?)),
+            "--quiet" => args.quiet = true,
+            "--runs" => args.clean_runs = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            s if s.starts_with('-') => return Err(format!("unknown option '{s}'")),
+            s => args.sets.push(s.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: invalid number '{text}'"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chats-run: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let scale = if args.smoke {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    match args.command.as_str() {
+        "list" => cmd_list(&args, scale),
+        "run" => cmd_run(&args, scale),
+        "clean" => cmd_clean(&args),
+        other => {
+            eprintln!("chats-run: unknown command '{other}'\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn build_set(
+    args: &Args,
+    scale: Scale,
+    default_sets: &[&str],
+) -> Result<(chats_runner::JobSet, Vec<String>), String> {
+    let ids: Vec<String> = if args.sets.is_empty() {
+        default_sets.iter().map(|s| (*s).to_string()).collect()
+    } else {
+        args.sets.clone()
+    };
+    let mut set = experiments::union(ids.iter().map(String::as_str), scale)?;
+    if let Some(needle) = &args.filter {
+        set.retain_matching(needle);
+    }
+    Ok((set, ids))
+}
+
+fn cmd_list(args: &Args, scale: Scale) -> ExitCode {
+    let (set, ids) = match build_set(args, scale, &["all"]) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("chats-run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for job in set.iter() {
+        println!("{}  {}", job.id(), job.label());
+    }
+    println!(
+        "{} unique jobs in {} at {} scale",
+        set.len(),
+        ids.join("+"),
+        scale.label()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &Args, scale: Scale) -> ExitCode {
+    let (set, ids) = match build_set(args, scale, &["fig4", "fig5"]) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("chats-run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if set.is_empty() {
+        eprintln!("chats-run: no jobs match");
+        return ExitCode::from(2);
+    }
+    let defaults = RunnerConfig::default();
+    let cfg = RunnerConfig {
+        jobs: args.jobs.unwrap_or(defaults.jobs),
+        use_cache: !args.no_cache,
+        cache_dir: args.cache_dir.clone().unwrap_or_else(default_cache_dir),
+        timeout: args
+            .timeout_secs
+            .map_or(defaults.timeout, Duration::from_secs),
+        max_attempts: args.retries.map_or(defaults.max_attempts, |r| r + 1),
+        verify_determinism: args.verify_determinism,
+        quiet: args.quiet,
+    };
+    if !cfg.quiet {
+        eprintln!(
+            "chats-run: {} jobs ({}, {} scale) on {} workers",
+            set.len(),
+            ids.join("+"),
+            scale.label(),
+            cfg.jobs.clamp(1, set.len())
+        );
+    }
+    let runner = Runner::new(cfg);
+    let report = runner.run_set(&set);
+    println!("{}", summary_table(&report));
+    let runs_dir = args.runs_dir.clone().unwrap_or_else(default_runs_dir);
+    match write_manifest(&report, &ids, scale.label(), &runs_dir) {
+        Ok(info) => println!("manifest: {}", info.path.display()),
+        Err(e) => {
+            eprintln!("chats-run: could not write manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for record in &report.records {
+        if let Some(err) = record.outcome.error() {
+            eprintln!(
+                "chats-run: {}: {} ({err})",
+                record.label,
+                record.outcome.label()
+            );
+        }
+    }
+    if report.all_succeeded() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_clean(args: &Args) -> ExitCode {
+    let cache = DiskCache::new(args.cache_dir.clone().unwrap_or_else(default_cache_dir));
+    match cache.clean() {
+        Ok(n) => println!("removed {n} cache entries from {}", cache.dir().display()),
+        Err(e) => {
+            eprintln!("chats-run: cache clean failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.clean_runs {
+        let runs = DiskCache::new(args.runs_dir.clone().unwrap_or_else(default_runs_dir));
+        match runs.clean() {
+            Ok(n) => println!("removed {n} manifests from {}", runs.dir().display()),
+            Err(e) => {
+                eprintln!("chats-run: manifest clean failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

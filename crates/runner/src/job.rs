@@ -1,0 +1,283 @@
+//! Jobs and job sets: the unit of work the runner schedules.
+//!
+//! A [`JobSpec`] is one simulation point — workload × policy × machine
+//! configuration. Its identity is a content hash of the *full*
+//! configuration (canonicalized to a string), so two specs that would
+//! produce the same simulation share one [`JobId`], one cache entry and
+//! one execution, no matter which experiment asked for them.
+
+use crate::hash::fnv1a_64;
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_stats::RunStats;
+use chats_workloads::{registry, run_workload, RunConfig};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Bumped whenever the canonical encoding changes, so stale cache
+/// entries from an older encoding can never alias a new job.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Content-hash identity of a job. Formats as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One simulation point: a workload run under a policy on a machine.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Registry name of the workload (e.g. `"kmeans-h"`).
+    pub workload: String,
+    /// The HTM system configuration under test.
+    pub policy: PolicyConfig,
+    /// Machine description, thread count, seed and cycle budget.
+    pub config: RunConfig,
+}
+
+impl JobSpec {
+    /// A job for `workload` under `policy` on `config`.
+    pub fn new(workload: impl Into<String>, policy: PolicyConfig, config: RunConfig) -> JobSpec {
+        JobSpec {
+            workload: workload.into(),
+            policy,
+            config,
+        }
+    }
+
+    /// The canonical configuration string hashed into the job id and
+    /// stored verbatim in cache entries for collision rejection. Every
+    /// field that can change the simulation's outcome is included.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "fmt={}|wl={}|policy={:?}|system={:?}|tuning={:?}|threads={}|seed={}|max_cycles={}",
+            FORMAT_VERSION,
+            self.workload,
+            self.policy,
+            self.config.system,
+            self.config.tuning,
+            self.config.threads,
+            self.config.seed,
+            self.config.max_cycles,
+        )
+    }
+
+    /// The content-hash identity of this job.
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        JobId(fnv1a_64(self.canonical().as_bytes()))
+    }
+
+    /// A human-readable label, `workload/system` plus a suffix for every
+    /// deviation from the system's Table II defaults (retries, VSB size,
+    /// validation interval, forward set, PiC width, ablations, threads).
+    /// Labels are what `--filter` matches against.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let sys = match self.policy.system {
+            HtmSystem::Baseline => "baseline",
+            HtmSystem::NaiveRs => "naive-rs",
+            HtmSystem::Chats => "chats",
+            HtmSystem::Power => "power",
+            HtmSystem::Pchats => "pchats",
+            HtmSystem::LevcBeIdealized => "levc",
+        };
+        let mut label = format!("{}/{}", self.workload, sys);
+        let def = PolicyConfig::for_system(self.policy.system);
+        if self.policy.retries != def.retries {
+            label.push_str(&format!(":r{}", self.policy.retries));
+        }
+        if self.policy.vsb_size != def.vsb_size {
+            label.push_str(&format!(":vsb{}", self.policy.vsb_size));
+        }
+        if self.policy.validation_interval != def.validation_interval {
+            label.push_str(&format!(":iv{}", self.policy.validation_interval));
+        }
+        if self.policy.forward_set != def.forward_set {
+            label.push_str(&format!(":fs-{}", self.policy.forward_set.label()));
+        }
+        if self.policy.pic_bits != def.pic_bits {
+            label.push_str(&format!(":pic{}", self.policy.pic_bits));
+        }
+        if self.policy.ablation.no_pic_overtake {
+            label.push_str(":no-overtake");
+        }
+        if self.policy.ablation.single_link_chains {
+            label.push_str(":single-link");
+        }
+        if self.config.threads != self.config.system.core.cores {
+            label.push_str(&format!(":t{}", self.config.threads));
+        }
+        label
+    }
+
+    /// Runs the simulation for this job.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for an unknown workload name, a
+    /// simulation timeout/deadlock, or an invariant violation.
+    pub fn execute(&self) -> Result<RunStats, String> {
+        let workload = registry::by_name(&self.workload)
+            .ok_or_else(|| format!("unknown workload '{}'", self.workload))?;
+        run_workload(workload.as_ref(), self.policy, &self.config).map(|out| out.stats)
+    }
+}
+
+/// An ordered, deduplicated collection of jobs.
+///
+/// Insertion order is preserved (it becomes manifest order); duplicates
+/// by [`JobId`] are dropped, which is what makes overlapping experiment
+/// grids (fig4 and fig5 share every point) cost one execution each.
+#[derive(Debug, Default)]
+pub struct JobSet {
+    jobs: Vec<JobSpec>,
+    ids: HashSet<u64>,
+}
+
+impl JobSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> JobSet {
+        JobSet::default()
+    }
+
+    /// Adds a job; returns `false` (and drops it) if an identical job is
+    /// already present.
+    pub fn push(&mut self, spec: JobSpec) -> bool {
+        if self.ids.insert(spec.id().0) {
+            self.jobs.push(spec);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Moves every job of `other` into `self`, deduplicating.
+    pub fn merge(&mut self, other: JobSet) {
+        for job in other.jobs {
+            self.push(job);
+        }
+    }
+
+    /// Number of (unique) jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if the set holds no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Iterates jobs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &JobSpec> {
+        self.jobs.iter()
+    }
+
+    /// Keeps only jobs whose [`JobSpec::label`] contains `needle`.
+    pub fn retain_matching(&mut self, needle: &str) {
+        self.jobs.retain(|j| j.label().contains(needle));
+        self.ids = self.jobs.iter().map(|j| j.id().0).collect();
+    }
+}
+
+impl FromIterator<JobSpec> for JobSet {
+    fn from_iter<I: IntoIterator<Item = JobSpec>>(iter: I) -> JobSet {
+        let mut set = JobSet::new();
+        for job in iter {
+            set.push(job);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chats_core::HtmSystem;
+
+    fn spec(wl: &str, sys: HtmSystem) -> JobSpec {
+        JobSpec::new(wl, PolicyConfig::for_system(sys), RunConfig::quick_test())
+    }
+
+    #[test]
+    fn id_is_stable_and_content_addressed() {
+        let a = spec("cadd", HtmSystem::Chats);
+        let b = spec("cadd", HtmSystem::Chats);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), spec("cadd", HtmSystem::Power).id());
+        assert_ne!(a.id(), spec("llb-l", HtmSystem::Chats).id());
+    }
+
+    #[test]
+    fn id_covers_every_config_axis() {
+        let base = spec("cadd", HtmSystem::Chats);
+        let mut retries = base.clone();
+        retries.policy = retries.policy.with_retries(42);
+        assert_ne!(base.id(), retries.id());
+
+        let mut seeded = base.clone();
+        seeded.config.seed ^= 1;
+        assert_ne!(base.id(), seeded.id());
+
+        let mut threads = base.clone();
+        threads.config.threads = 2;
+        assert_ne!(base.id(), threads.id());
+
+        let mut budget = base.clone();
+        budget.config.max_cycles /= 2;
+        assert_ne!(base.id(), budget.id());
+    }
+
+    #[test]
+    fn label_names_deviations() {
+        let mut j = spec("genome", HtmSystem::Chats);
+        assert_eq!(j.label(), "genome/chats");
+        j.policy = j.policy.with_retries(16).with_vsb_size(2);
+        let l = j.label();
+        assert!(l.contains(":r16"), "{l}");
+        assert!(l.contains(":vsb2"), "{l}");
+    }
+
+    #[test]
+    fn execute_rejects_unknown_workload() {
+        let j = spec("no-such-workload", HtmSystem::Baseline);
+        let err = j.execute().unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn set_dedups_and_preserves_order() {
+        let mut set = JobSet::new();
+        assert!(set.push(spec("cadd", HtmSystem::Chats)));
+        assert!(set.push(spec("cadd", HtmSystem::Power)));
+        assert!(!set.push(spec("cadd", HtmSystem::Chats)));
+        assert_eq!(set.len(), 2);
+        let labels: Vec<String> = set.iter().map(JobSpec::label).collect();
+        assert_eq!(labels, ["cadd/chats", "cadd/power"]);
+    }
+
+    #[test]
+    fn filter_retains_matching_labels() {
+        let mut set: JobSet = [
+            spec("cadd", HtmSystem::Chats),
+            spec("genome", HtmSystem::Chats),
+            spec("genome", HtmSystem::Power),
+        ]
+        .into_iter()
+        .collect();
+        set.retain_matching("genome");
+        assert_eq!(set.len(), 2);
+        set.retain_matching("power");
+        assert_eq!(set.len(), 1);
+        // A filtered-out job can be re-added.
+        assert!(set.push(spec("cadd", HtmSystem::Chats)));
+    }
+}

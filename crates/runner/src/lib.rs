@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Parallel experiment runner for the CHATS simulator.
+//!
+//! The paper's evaluation is hundreds of independent simulation points
+//! (workload × system × knob). This crate turns that sweep into a job
+//! graph with content-addressed identity and runs it on a worker pool:
+//!
+//! * [`job::JobSpec`] — one simulation point; its [`job::JobId`] is an
+//!   FNV-1a hash of the *full* canonical configuration, so identical
+//!   points requested by different figures share one execution.
+//! * [`experiments`] — the paper's figure grids as named [`job::JobSet`]s.
+//! * [`pool::Runner`] — worker pool sized by `available_parallelism`,
+//!   with per-attempt wall-clock timeouts, bounded retries, panic
+//!   isolation, and an optional determinism gate (run twice, demand
+//!   bit-identical statistics).
+//! * [`cache::DiskCache`] — results under `target/chats-cache/`, keyed
+//!   by job hash and guarded by crate version + canonical config;
+//!   corruption degrades to re-execution.
+//! * [`manifest`] — per-run JSON manifests under `target/chats-runs/`
+//!   with timing, outcomes, cache hit rate and measured speedup.
+//!
+//! The `chats-run` binary exposes all of this on the command line; the
+//! `chats-bench` harness routes its measurements through [`pool::Runner`]
+//! so figures and ad-hoc sweeps share the same cache.
+
+pub mod cache;
+pub mod experiments;
+pub mod hash;
+pub mod job;
+pub mod json;
+pub mod manifest;
+pub mod pool;
+
+pub use cache::{default_cache_dir, DiskCache, CACHE_VERSION};
+pub use experiments::{contended, Scale, MAIN_SYSTEMS};
+pub use job::{JobId, JobSet, JobSpec};
+pub use json::Json;
+pub use manifest::{default_runs_dir, summary_table, write_manifest, ManifestInfo};
+pub use pool::{JobOutcome, JobRecord, RunReport, Runner, RunnerConfig};

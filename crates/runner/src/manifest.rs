@@ -1,0 +1,282 @@
+//! Run manifests: one JSON document per `run_set` invocation.
+//!
+//! Manifests land in `target/chats-runs/<run-id>.json` and record enough
+//! to audit a sweep after the fact: which sets were requested, per-job
+//! outcome/attempts/timing/worker, cache hit rate, and the measured
+//! parallel speedup (aggregate job time over wall time). They are
+//! hand-serialized through [`crate::json`] — the format has no
+//! dependency on a serialization framework.
+
+use crate::cache::{default_target_dir, CACHE_VERSION};
+use crate::hash::fnv1a_64;
+use crate::json::Json;
+use crate::pool::RunReport;
+use chats_stats::Table;
+use std::collections::BTreeMap;
+use std::env;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// `$CHATS_RUNS_DIR`, or `chats-runs` under the cargo target directory.
+#[must_use]
+pub fn default_runs_dir() -> PathBuf {
+    if let Some(dir) = env::var_os("CHATS_RUNS_DIR") {
+        return dir.into();
+    }
+    default_target_dir().join("chats-runs")
+}
+
+/// Where a manifest was written and under which id.
+#[derive(Debug, Clone)]
+pub struct ManifestInfo {
+    /// `<runs-dir>/<run-id>.json`.
+    pub path: PathBuf,
+    /// Timestamp-plus-content id, unique per invocation.
+    pub run_id: String,
+}
+
+/// Builds the manifest JSON document for a report.
+#[must_use]
+pub fn manifest_json(report: &RunReport, sets: &[String], scale: &str, run_id: &str) -> Json {
+    let created_ms = unix_millis();
+    let cached = report.count("cached");
+    let total = report.records.len();
+    let misses = total - cached;
+
+    let mut jobs = BTreeMap::new();
+    jobs.insert("total".to_string(), Json::U64(total as u64));
+    jobs.insert(
+        "executed".to_string(),
+        Json::U64(report.count("executed") as u64),
+    );
+    jobs.insert("cached".to_string(), Json::U64(cached as u64));
+    jobs.insert(
+        "failed".to_string(),
+        Json::U64(report.count("failed") as u64),
+    );
+    jobs.insert(
+        "timed_out".to_string(),
+        Json::U64(report.count("timed-out") as u64),
+    );
+    jobs.insert(
+        "determinism_violations".to_string(),
+        Json::U64(report.count("determinism-violation") as u64),
+    );
+    jobs.insert("retries".to_string(), Json::U64(report.retries()));
+
+    let mut cache = BTreeMap::new();
+    cache.insert("hits".to_string(), Json::U64(cached as u64));
+    cache.insert("misses".to_string(), Json::U64(misses as u64));
+    cache.insert(
+        "hit_rate".to_string(),
+        Json::F64(if total == 0 {
+            0.0
+        } else {
+            cached as f64 / total as f64
+        }),
+    );
+
+    let per_job: Vec<Json> = report
+        .records
+        .iter()
+        .map(|r| {
+            let mut m = BTreeMap::new();
+            m.insert("id".to_string(), Json::Str(r.id.clone()));
+            m.insert("label".to_string(), Json::Str(r.label.clone()));
+            m.insert(
+                "outcome".to_string(),
+                Json::Str(r.outcome.label().to_string()),
+            );
+            m.insert("attempts".to_string(), Json::U64(u64::from(r.attempts)));
+            m.insert("millis".to_string(), Json::U64(r.millis));
+            m.insert("worker".to_string(), Json::U64(r.worker as u64));
+            if let Some(err) = r.outcome.error() {
+                m.insert("error".to_string(), Json::Str(err.to_string()));
+            }
+            Json::Obj(m)
+        })
+        .collect();
+
+    let mut root = BTreeMap::new();
+    root.insert("run_id".to_string(), Json::Str(run_id.to_string()));
+    root.insert("created_unix_ms".to_string(), Json::U64(created_ms));
+    root.insert(
+        "crate_version".to_string(),
+        Json::Str(CACHE_VERSION.to_string()),
+    );
+    root.insert("scale".to_string(), Json::Str(scale.to_string()));
+    root.insert(
+        "sets".to_string(),
+        Json::Arr(sets.iter().map(|s| Json::Str(s.clone())).collect()),
+    );
+    root.insert("workers".to_string(), Json::U64(report.workers as u64));
+    root.insert(
+        "wall_ms".to_string(),
+        Json::U64(u64::try_from(report.wall.as_millis()).unwrap_or(u64::MAX)),
+    );
+    root.insert(
+        "busy_ms".to_string(),
+        Json::U64(u64::try_from(report.busy().as_millis()).unwrap_or(u64::MAX)),
+    );
+    root.insert("speedup".to_string(), Json::F64(report.speedup()));
+    root.insert("jobs".to_string(), Json::Obj(jobs));
+    root.insert("cache".to_string(), Json::Obj(cache));
+    root.insert("per_job".to_string(), Json::Arr(per_job));
+    Json::Obj(root)
+}
+
+/// Writes the manifest for a report into `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_manifest(
+    report: &RunReport,
+    sets: &[String],
+    scale: &str,
+    dir: &Path,
+) -> io::Result<ManifestInfo> {
+    fs::create_dir_all(dir)?;
+    let salt: String = report.records.iter().map(|r| r.id.as_str()).collect();
+    let run_id = format!(
+        "{:013}-{:08x}",
+        unix_millis(),
+        fnv1a_64(salt.as_bytes()) ^ u64::from(std::process::id())
+    );
+    let path = dir.join(format!("{run_id}.json"));
+    fs::write(
+        &path,
+        manifest_json(report, sets, scale, &run_id).to_pretty(),
+    )?;
+    Ok(ManifestInfo { path, run_id })
+}
+
+/// A two-column summary of a report for terminal display.
+#[must_use]
+pub fn summary_table(report: &RunReport) -> Table {
+    let mut t = Table::new(vec!["metric".into(), "value".into()]);
+    let mut kv = |k: &str, v: String| {
+        t.row(vec![k.to_string(), v]);
+    };
+    let total = report.records.len();
+    kv("jobs", total.to_string());
+    kv("workers", report.workers.to_string());
+    kv("executed", report.count("executed").to_string());
+    kv("cached", report.count("cached").to_string());
+    kv("failed", report.count("failed").to_string());
+    kv("timed out", report.count("timed-out").to_string());
+    kv(
+        "determinism violations",
+        report.count("determinism-violation").to_string(),
+    );
+    kv("retries", report.retries().to_string());
+    kv("wall time", format!("{:.2} s", report.wall.as_secs_f64()));
+    kv(
+        "aggregate job time",
+        format!("{:.2} s", report.busy().as_secs_f64()),
+    );
+    kv("parallel speedup", format!("{:.2}x", report.speedup()));
+    let hit_rate = if total == 0 {
+        0.0
+    } else {
+        report.count("cached") as f64 / total as f64
+    };
+    kv("cache hit rate", format!("{:.0}%", hit_rate * 100.0));
+    t
+}
+
+fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{JobOutcome, JobRecord};
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            records: vec![
+                JobRecord {
+                    id: "00000000000000aa".into(),
+                    label: "cadd/chats".into(),
+                    outcome: JobOutcome::Executed,
+                    attempts: 1,
+                    millis: 120,
+                    worker: 0,
+                },
+                JobRecord {
+                    id: "00000000000000bb".into(),
+                    label: "cadd/power".into(),
+                    outcome: JobOutcome::Cached,
+                    attempts: 0,
+                    millis: 1,
+                    worker: 1,
+                },
+                JobRecord {
+                    id: "00000000000000cc".into(),
+                    label: "genome/chats".into(),
+                    outcome: JobOutcome::Failed("boom".into()),
+                    attempts: 2,
+                    millis: 30,
+                    worker: 0,
+                },
+            ],
+            results: HashMap::new(),
+            workers: 2,
+            wall: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn manifest_counts_and_fields() {
+        let report = sample_report();
+        let m = manifest_json(&report, &["fig4".into()], "quick", "test-run");
+        assert_eq!(m.get("run_id").and_then(Json::as_str), Some("test-run"));
+        assert_eq!(m.get("scale").and_then(Json::as_str), Some("quick"));
+        let jobs = m.get("jobs").unwrap();
+        assert_eq!(jobs.get("total").and_then(Json::as_u64), Some(3));
+        assert_eq!(jobs.get("executed").and_then(Json::as_u64), Some(1));
+        assert_eq!(jobs.get("cached").and_then(Json::as_u64), Some(1));
+        assert_eq!(jobs.get("failed").and_then(Json::as_u64), Some(1));
+        assert_eq!(jobs.get("retries").and_then(Json::as_u64), Some(1));
+        let cache = m.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+        let per_job = m.get("per_job").and_then(Json::as_arr).unwrap();
+        assert_eq!(per_job.len(), 3);
+        assert_eq!(per_job[2].get("error").and_then(Json::as_str), Some("boom"));
+        assert!(per_job[0].get("error").is_none());
+        // The document round-trips through the parser.
+        assert_eq!(Json::parse(&m.to_pretty()).unwrap(), m);
+    }
+
+    #[test]
+    fn summary_table_mentions_speedup_and_hit_rate() {
+        let text = summary_table(&sample_report()).to_string();
+        assert!(text.contains("parallel speedup"), "{text}");
+        assert!(text.contains("cache hit rate"), "{text}");
+        assert!(text.contains("33%"), "{text}");
+    }
+
+    #[test]
+    fn write_manifest_creates_file() {
+        let dir = std::env::temp_dir().join(format!("chats-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let info = write_manifest(&sample_report(), &["fig4".into()], "quick", &dir).unwrap();
+        let text = std::fs::read_to_string(&info.path).unwrap();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("run_id").and_then(Json::as_str),
+            Some(info.run_id.as_str())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

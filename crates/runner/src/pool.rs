@@ -1,0 +1,549 @@
+//! The worker pool: parallel job execution with timeouts, bounded
+//! retries, panic isolation and an optional determinism gate.
+//!
+//! Each job attempt runs on its own freshly spawned thread so that (a) a
+//! panic inside the simulator is caught and recorded instead of tearing
+//! down the pool, and (b) a wedged simulation can be timed out — the
+//! worker abandons the attempt thread and moves on (the thread keeps the
+//! core until the simulation's own cycle budget trips, but the pool stays
+//! live). Retries are reserved for panics and timeouts; a simulation
+//! *error* (timeout verdict, invariant violation, unknown workload) is
+//! deterministic and re-running it would only burn time.
+
+use crate::cache::{default_cache_dir, DiskCache};
+use crate::job::{JobSet, JobSpec};
+use chats_stats::RunStats;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads. Defaults to [`std::thread::available_parallelism`].
+    pub jobs: usize,
+    /// Read/write the disk cache. Off means every job executes.
+    pub use_cache: bool,
+    /// Cache directory (see [`default_cache_dir`]).
+    pub cache_dir: std::path::PathBuf,
+    /// Wall-clock budget per attempt; an attempt past it is abandoned.
+    pub timeout: Duration,
+    /// Attempts per job (first try included); only panics and timeouts
+    /// consume retries.
+    pub max_attempts: u32,
+    /// Execute every cache-missing job twice and demand bit-identical
+    /// statistics (the determinism gate). Doubles execution cost.
+    pub verify_determinism: bool,
+    /// Suppress per-job progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> RunnerConfig {
+        RunnerConfig {
+            jobs: thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            use_cache: true,
+            cache_dir: default_cache_dir(),
+            timeout: Duration::from_secs(900),
+            max_attempts: 2,
+            verify_determinism: false,
+            quiet: false,
+        }
+    }
+}
+
+/// How a job concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Result served from the in-memory memo or the disk cache.
+    Cached,
+    /// Executed (and, with the cache enabled, stored).
+    Executed,
+    /// Simulation error or exhausted retries after panics; the message
+    /// explains.
+    Failed(String),
+    /// Every attempt exceeded the wall-clock budget.
+    TimedOut,
+    /// The determinism gate saw two runs of the same job disagree; the
+    /// message names the first diverging counter.
+    DeterminismViolation(String),
+}
+
+impl JobOutcome {
+    /// Stable manifest label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Cached => "cached",
+            JobOutcome::Executed => "executed",
+            JobOutcome::Failed(_) => "failed",
+            JobOutcome::TimedOut => "timed-out",
+            JobOutcome::DeterminismViolation(_) => "determinism-violation",
+        }
+    }
+
+    /// `true` when the job produced usable statistics.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, JobOutcome::Cached | JobOutcome::Executed)
+    }
+
+    /// The failure message, if any.
+    #[must_use]
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Failed(e) | JobOutcome::DeterminismViolation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled job's bookkeeping, in submission order in the manifest.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Content-hash id, 16 hex digits.
+    pub id: String,
+    /// Human label ([`JobSpec::label`]).
+    pub label: String,
+    /// How the job concluded.
+    pub outcome: JobOutcome,
+    /// Execution attempts made (0 for cache hits).
+    pub attempts: u32,
+    /// Wall-clock milliseconds this job occupied its worker.
+    pub millis: u64,
+    /// Index of the worker that ran the job.
+    pub worker: usize,
+}
+
+/// Everything a [`Runner::run_set`] call produced.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-job records in submission order.
+    pub records: Vec<JobRecord>,
+    /// Statistics for every successful job, keyed by [`crate::job::JobId`] value.
+    pub results: HashMap<u64, RunStats>,
+    /// Worker threads the pool actually used.
+    pub workers: usize,
+    /// Wall-clock time of the whole set.
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// Statistics for one job of the set, if it succeeded.
+    #[must_use]
+    pub fn stats_for(&self, spec: &JobSpec) -> Option<&RunStats> {
+        self.results.get(&spec.id().0)
+    }
+
+    /// Aggregate per-job busy time — the serial cost of the set. On a
+    /// multi-core host `busy / wall` exceeds 1 when the pool overlaps
+    /// jobs; on a single-core host it hovers near 1 regardless of the
+    /// worker count.
+    #[must_use]
+    pub fn busy(&self) -> Duration {
+        Duration::from_millis(self.records.iter().map(|r| r.millis).sum())
+    }
+
+    /// `busy / wall`: the measured parallel speedup of this run.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            self.busy().as_secs_f64() / wall
+        }
+    }
+
+    /// Count of records with a given outcome label.
+    #[must_use]
+    pub fn count(&self, label: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome.label() == label)
+            .count()
+    }
+
+    /// Retries actually consumed (attempts beyond each job's first).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum()
+    }
+
+    /// `true` when every job produced statistics.
+    #[must_use]
+    pub fn all_succeeded(&self) -> bool {
+        self.records.iter().all(|r| r.outcome.is_success())
+    }
+}
+
+enum Attempt {
+    Success(RunStats),
+    SimError(String),
+    Panicked(String),
+    TimedOut,
+}
+
+/// The experiment runner: a cache-aware parallel executor for [`JobSet`]s.
+pub struct Runner {
+    cfg: RunnerConfig,
+    cache: DiskCache,
+    memo: Mutex<HashMap<u64, RunStats>>,
+}
+
+impl Runner {
+    /// A runner with the given configuration.
+    #[must_use]
+    pub fn new(cfg: RunnerConfig) -> Runner {
+        let cache = DiskCache::new(cfg.cache_dir.clone());
+        Runner {
+            cfg,
+            cache,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A runner with [`RunnerConfig::default`].
+    #[must_use]
+    pub fn with_defaults() -> Runner {
+        Runner::new(RunnerConfig::default())
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &RunnerConfig {
+        &self.cfg
+    }
+
+    /// The disk cache this runner reads and writes.
+    #[must_use]
+    pub fn cache(&self) -> &DiskCache {
+        &self.cache
+    }
+
+    /// Resolves a single job — memo, then disk cache, then execution —
+    /// and returns its statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failure message for simulation errors, exhausted
+    /// retries, timeouts and determinism violations.
+    pub fn run_one(&self, spec: &JobSpec) -> Result<RunStats, String> {
+        let (outcome, _attempts, stats) = self.resolve(spec);
+        match stats {
+            Some(s) => Ok(s),
+            None => Err(outcome.error().map_or_else(
+                || format!("job {} {}", spec.label(), outcome.label()),
+                String::from,
+            )),
+        }
+    }
+
+    /// Runs every job of the set on the worker pool and reports.
+    #[must_use]
+    pub fn run_set(&self, set: &JobSet) -> RunReport {
+        let start = Instant::now();
+        let specs: Vec<&JobSpec> = set.iter().collect();
+        let total = specs.len();
+        let workers = self.cfg.jobs.clamp(1, total.max(1));
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobRecord>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for worker in 0..workers {
+                let next = &next;
+                let done = &done;
+                let slots = &slots;
+                let specs = &specs;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let t0 = Instant::now();
+                    let (outcome, attempts, _stats) = self.resolve(spec);
+                    let record = JobRecord {
+                        id: spec.id().to_string(),
+                        label: spec.label(),
+                        outcome,
+                        attempts,
+                        millis: u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX),
+                        worker,
+                    };
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if !self.cfg.quiet {
+                        eprintln!(
+                            "[{finished:>4}/{total}] {:<22} {:<40} {:>8} ms  (worker {worker})",
+                            record.outcome.label(),
+                            record.label,
+                            record.millis,
+                        );
+                    }
+                    *slots[i].lock().unwrap() = Some(record);
+                });
+            }
+        });
+        let records: Vec<JobRecord> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("worker records every claimed job")
+            })
+            .collect();
+        let memo = self.memo.lock().unwrap();
+        let results = specs
+            .iter()
+            .filter_map(|s| {
+                let id = s.id().0;
+                memo.get(&id).map(|st| (id, st.clone()))
+            })
+            .collect();
+        RunReport {
+            records,
+            results,
+            workers,
+            wall: start.elapsed(),
+        }
+    }
+
+    fn resolve(&self, spec: &JobSpec) -> (JobOutcome, u32, Option<RunStats>) {
+        let id = spec.id().0;
+        if let Some(stats) = self.memo.lock().unwrap().get(&id) {
+            return (JobOutcome::Cached, 0, Some(stats.clone()));
+        }
+        if self.cfg.use_cache {
+            if let Some(stats) = self.cache.load(spec) {
+                self.memo.lock().unwrap().insert(id, stats.clone());
+                return (JobOutcome::Cached, 0, Some(stats));
+            }
+        }
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match attempt_once(spec, self.cfg.timeout) {
+                Attempt::Success(stats) => {
+                    if self.cfg.verify_determinism {
+                        attempts += 1;
+                        if let Some(why) = self.determinism_divergence(spec, &stats) {
+                            return (JobOutcome::DeterminismViolation(why), attempts, None);
+                        }
+                    }
+                    if self.cfg.use_cache {
+                        if let Err(e) = self.cache.store(spec, &stats) {
+                            eprintln!(
+                                "chats-runner: warning: could not cache {} ({e})",
+                                spec.label()
+                            );
+                        }
+                    }
+                    self.memo.lock().unwrap().insert(id, stats.clone());
+                    return (JobOutcome::Executed, attempts, Some(stats));
+                }
+                Attempt::SimError(e) => return (JobOutcome::Failed(e), attempts, None),
+                Attempt::Panicked(msg) => {
+                    if attempts >= self.cfg.max_attempts {
+                        return (
+                            JobOutcome::Failed(format!(
+                                "panicked after {attempts} attempts: {msg}"
+                            )),
+                            attempts,
+                            None,
+                        );
+                    }
+                }
+                Attempt::TimedOut => {
+                    if attempts >= self.cfg.max_attempts {
+                        return (JobOutcome::TimedOut, attempts, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-executes `spec` and describes the divergence from `first`, or
+    /// `None` when the re-run reproduced it bit-for-bit.
+    fn determinism_divergence(&self, spec: &JobSpec, first: &RunStats) -> Option<String> {
+        match attempt_once(spec, self.cfg.timeout) {
+            Attempt::Success(second) if &second == first => None,
+            Attempt::Success(second) => Some(first_divergence(first, &second)),
+            Attempt::SimError(e) => Some(format!("re-run errored: {e}")),
+            Attempt::Panicked(msg) => Some(format!("re-run panicked: {msg}")),
+            Attempt::TimedOut => Some("re-run timed out".to_string()),
+        }
+    }
+}
+
+/// Names the first counter that differs between two runs of one job.
+fn first_divergence(a: &RunStats, b: &RunStats) -> String {
+    use crate::cache::stats_to_json;
+    let (ja, jb) = (stats_to_json(a), stats_to_json(b));
+    if let (crate::json::Json::Obj(ma), crate::json::Json::Obj(mb)) = (&ja, &jb) {
+        for (key, va) in ma {
+            if mb.get(key) != Some(va) {
+                return format!(
+                    "two runs disagree on '{key}': {} vs {}",
+                    va.to_compact(),
+                    mb.get(key)
+                        .map_or_else(|| "<missing>".into(), crate::json::Json::to_compact),
+                );
+            }
+        }
+    }
+    "two runs disagree".to_string()
+}
+
+/// One execution attempt on a dedicated thread: panics are caught,
+/// overruns abandon the thread.
+fn attempt_once(spec: &JobSpec, timeout: Duration) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let owned = spec.clone();
+    let spawned = thread::Builder::new()
+        .name(format!("chats-job-{}", owned.id()))
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| owned.execute()));
+            let _ = tx.send(result);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => return Attempt::SimError(format!("could not spawn job thread: {e}")),
+    };
+    match rx.recv_timeout(timeout) {
+        Ok(run) => {
+            let _ = handle.join();
+            match run {
+                Ok(Ok(stats)) => Attempt::Success(stats),
+                Ok(Err(e)) => Attempt::SimError(e),
+                Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+            }
+        }
+        // The attempt thread is deliberately leaked: it parks on the dead
+        // channel once the simulation finally returns.
+        Err(_) => Attempt::TimedOut,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chats_core::{HtmSystem, PolicyConfig};
+    use chats_workloads::RunConfig;
+
+    fn quiet_runner(dir: &std::path::Path, use_cache: bool) -> Runner {
+        Runner::new(RunnerConfig {
+            jobs: 2,
+            use_cache,
+            cache_dir: dir.to_path_buf(),
+            quiet: true,
+            ..RunnerConfig::default()
+        })
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("chats-pool-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn unknown_workload_fails_without_retry() {
+        let dir = tmp_dir("unknown");
+        let r = quiet_runner(&dir, false);
+        let spec = JobSpec::new(
+            "no-such-workload",
+            PolicyConfig::for_system(HtmSystem::Baseline),
+            RunConfig::quick_test(),
+        );
+        let (outcome, attempts, stats) = r.resolve(&spec);
+        assert_eq!(outcome.label(), "failed");
+        assert_eq!(attempts, 1, "simulation errors must not consume retries");
+        assert!(stats.is_none());
+        assert!(outcome.error().unwrap().contains("unknown workload"));
+    }
+
+    #[test]
+    fn run_set_records_every_job_and_memoizes() {
+        let dir = tmp_dir("memo");
+        let r = quiet_runner(&dir, false);
+        let mut set = JobSet::new();
+        let spec = JobSpec::new(
+            "cadd",
+            PolicyConfig::for_system(HtmSystem::Baseline),
+            RunConfig::quick_test(),
+        );
+        set.push(spec.clone());
+        set.push(JobSpec::new(
+            "no-such-workload",
+            PolicyConfig::for_system(HtmSystem::Baseline),
+            RunConfig::quick_test(),
+        ));
+        let report = r.run_set(&set);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.count("executed"), 1);
+        assert_eq!(report.count("failed"), 1);
+        assert!(!report.all_succeeded());
+        assert!(report.stats_for(&spec).is_some());
+        // Second resolution of the same job is a memo hit.
+        let (outcome, _, _) = r.resolve(&spec);
+        assert_eq!(outcome, JobOutcome::Cached);
+    }
+
+    #[test]
+    fn first_divergence_names_the_counter() {
+        let a = RunStats {
+            cycles: 10,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            cycles: 11,
+            ..RunStats::default()
+        };
+        let why = first_divergence(&a, &b);
+        assert!(why.contains("cycles"), "{why}");
+        assert!(why.contains("10") && why.contains("11"), "{why}");
+    }
+
+    #[test]
+    fn report_speedup_is_busy_over_wall() {
+        let report = RunReport {
+            records: vec![
+                JobRecord {
+                    id: "0".into(),
+                    label: "a".into(),
+                    outcome: JobOutcome::Executed,
+                    attempts: 1,
+                    millis: 300,
+                    worker: 0,
+                },
+                JobRecord {
+                    id: "1".into(),
+                    label: "b".into(),
+                    outcome: JobOutcome::Executed,
+                    attempts: 1,
+                    millis: 300,
+                    worker: 1,
+                },
+            ],
+            results: HashMap::new(),
+            workers: 2,
+            wall: Duration::from_millis(300),
+        };
+        assert!((report.speedup() - 2.0).abs() < 1e-9);
+        assert_eq!(report.busy(), Duration::from_millis(600));
+        assert_eq!(report.retries(), 0);
+    }
+}

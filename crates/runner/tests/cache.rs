@@ -1,0 +1,144 @@
+//! Disk-cache behaviour: hits, misses, invalidation on configuration and
+//! crate-version change, and graceful fallback on corruption.
+
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_runner::{DiskCache, JobSet, JobSpec, Runner, RunnerConfig, Scale};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chats-cache-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> JobSpec {
+    JobSpec::new(
+        "cadd",
+        PolicyConfig::for_system(HtmSystem::Baseline),
+        Scale::Quick.run_config(),
+    )
+}
+
+fn runner(dir: &Path) -> Runner {
+    Runner::new(RunnerConfig {
+        jobs: 1,
+        cache_dir: dir.to_path_buf(),
+        quiet: true,
+        ..RunnerConfig::default()
+    })
+}
+
+/// Fresh runners share nothing in memory, so the second one exercises
+/// the disk path.
+#[test]
+fn second_runner_hits_the_disk_cache() {
+    let dir = temp_dir("hit");
+    let set: JobSet = [spec()].into_iter().collect();
+
+    let first = runner(&dir).run_set(&set);
+    assert_eq!(first.count("executed"), 1);
+
+    let second = runner(&dir).run_set(&set);
+    assert_eq!(second.count("cached"), 1);
+    assert_eq!(second.count("executed"), 0);
+    assert_eq!(
+        first.stats_for(&spec()).unwrap(),
+        second.stats_for(&spec()).unwrap(),
+        "cache round-trip must be bit-identical"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Any config change is a different job id, hence a miss.
+#[test]
+fn config_change_misses() {
+    let dir = temp_dir("config");
+    let _ = runner(&dir).run_set(&[spec()].into_iter().collect());
+
+    let mut reseeded = spec();
+    reseeded.config.seed ^= 1;
+    assert_ne!(spec().id(), reseeded.id());
+    let report = runner(&dir).run_set(&[reseeded].into_iter().collect());
+    assert_eq!(report.count("executed"), 1, "changed seed must re-execute");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An entry written by a different simulator release is discarded.
+#[test]
+fn crate_version_change_invalidates() {
+    let dir = temp_dir("version");
+    let _ = runner(&dir).run_set(&[spec()].into_iter().collect());
+
+    let cache = DiskCache::new(dir.clone());
+    let path = cache.path_for(&spec());
+    let entry = fs::read_to_string(&path).unwrap();
+    let doctored = entry.replace(chats_runner::CACHE_VERSION, "0.0.0-older");
+    assert_ne!(entry, doctored, "version string must appear in the entry");
+    fs::write(&path, doctored).unwrap();
+
+    assert!(
+        cache.load(&spec()).is_none(),
+        "stale-version entry must miss"
+    );
+    assert!(!path.exists(), "stale entry must be deleted");
+    let report = runner(&dir).run_set(&[spec()].into_iter().collect());
+    assert_eq!(report.count("executed"), 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A corrupted entry is discarded with a warning and the job re-executes.
+#[test]
+fn corruption_falls_back_to_execution() {
+    let dir = temp_dir("corrupt");
+    let baseline = runner(&dir).run_set(&[spec()].into_iter().collect());
+    let good = baseline.stats_for(&spec()).unwrap().clone();
+
+    let cache = DiskCache::new(dir.clone());
+    let path = cache.path_for(&spec());
+    for garbage in ["", "{not json", "{\"crate_version\": 7}", "[1,2,3]"] {
+        fs::write(&path, garbage).unwrap();
+        let report = runner(&dir).run_set(&[spec()].into_iter().collect());
+        assert_eq!(
+            report.count("executed"),
+            1,
+            "garbage {garbage:?} must re-execute"
+        );
+        assert_eq!(report.stats_for(&spec()).unwrap(), &good);
+        // The re-execution rewrote a valid entry.
+        assert!(cache.load(&spec()).is_some());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A truncated stats payload (valid JSON, missing counters) is also a miss.
+#[test]
+fn missing_stats_fields_invalidate() {
+    let dir = temp_dir("fields");
+    let _ = runner(&dir).run_set(&[spec()].into_iter().collect());
+
+    let cache = DiskCache::new(dir.clone());
+    let path = cache.path_for(&spec());
+    let entry = fs::read_to_string(&path).unwrap();
+    let doctored = entry.replace("\"cycles\"", "\"cycles_renamed\"");
+    assert_ne!(entry, doctored);
+    fs::write(&path, doctored).unwrap();
+    assert!(cache.load(&spec()).is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `--no-cache` neither reads nor writes entries.
+#[test]
+fn no_cache_mode_touches_nothing() {
+    let dir = temp_dir("nocache");
+    let r = Runner::new(RunnerConfig {
+        jobs: 1,
+        use_cache: false,
+        cache_dir: dir.clone(),
+        quiet: true,
+        ..RunnerConfig::default()
+    });
+    let report = r.run_set(&[spec()].into_iter().collect());
+    assert_eq!(report.count("executed"), 1);
+    assert!(!dir.exists(), "no-cache run must not create the cache dir");
+}

@@ -1,0 +1,66 @@
+//! The determinism gate: the same job must produce bit-identical
+//! statistics regardless of worker-pool parallelism, and the runner's
+//! built-in verify mode must agree.
+
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_runner::{JobSet, JobSpec, Runner, RunnerConfig, Scale};
+
+fn quick_jobs() -> Vec<JobSpec> {
+    let cfg = Scale::Quick.run_config();
+    ["cadd", "llb-l"]
+        .into_iter()
+        .flat_map(|wl| {
+            let cfg = cfg.clone();
+            [HtmSystem::Baseline, HtmSystem::Chats]
+                .into_iter()
+                .map(move |sys| JobSpec::new(wl, PolicyConfig::for_system(sys), cfg.clone()))
+        })
+        .collect()
+}
+
+fn runner(jobs: usize, verify: bool) -> Runner {
+    Runner::new(RunnerConfig {
+        jobs,
+        use_cache: false, // force real execution in every runner
+        verify_determinism: verify,
+        quiet: true,
+        ..RunnerConfig::default()
+    })
+}
+
+#[test]
+fn stats_are_bit_identical_across_parallelism() {
+    let specs = quick_jobs();
+    let set1: JobSet = specs.iter().cloned().collect();
+    let set8: JobSet = specs.iter().cloned().collect();
+
+    let serial = runner(1, false).run_set(&set1);
+    let parallel = runner(8, false).run_set(&set8);
+    assert!(serial.all_succeeded(), "serial run failed");
+    assert!(parallel.all_succeeded(), "parallel run failed");
+    assert_eq!(serial.workers, 1);
+    assert!(parallel.workers > 1, "pool must actually parallelize");
+
+    for spec in &specs {
+        let a = serial.stats_for(spec).expect("serial result");
+        let b = parallel.stats_for(spec).expect("parallel result");
+        // RunStats is Eq: every counter, map and histogram must match.
+        assert_eq!(
+            a,
+            b,
+            "{} diverged between --jobs 1 and --jobs 8",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn verify_determinism_gate_passes_on_a_real_job() {
+    let specs = quick_jobs();
+    let set: JobSet = specs[..1].iter().cloned().collect();
+    let report = runner(2, true).run_set(&set);
+    assert!(report.all_succeeded(), "gate flagged a deterministic job");
+    assert_eq!(report.count("executed"), 1);
+    // The verification re-run counts as an attempt in the record.
+    assert_eq!(report.records[0].attempts, 2);
+}

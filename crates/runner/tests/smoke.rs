@@ -1,0 +1,138 @@
+//! End-to-end smoke test of the `chats-run` CLI: submit → execute →
+//! cache → manifest, twice, against throwaway cache/manifest
+//! directories.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chats-run-smoke-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn chats_run(root: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chats-run"))
+        .args(args)
+        .args(["--cache-dir"])
+        .arg(root.join("cache"))
+        .args(["--runs-dir"])
+        .arg(root.join("runs"))
+        .output()
+        .expect("spawn chats-run")
+}
+
+/// The one-job smoke sweep CI runs: the cheapest workload under CHATS at
+/// quick-test scale, executed, then served from cache, with a manifest
+/// and a summary for both invocations.
+#[test]
+fn smoke_run_executes_then_caches_and_writes_manifests() {
+    let root = temp_root("run");
+    let args = [
+        "run", "chains", "--smoke", "--filter", "cadd/", "--jobs", "2",
+    ];
+
+    let first = chats_run(&root, &args);
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(
+        first.status.success(),
+        "first run failed:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("manifest:"), "{stdout}");
+    assert!(stderr.contains("executed"), "{stderr}");
+
+    let second = chats_run(&root, &args);
+    let stdout2 = String::from_utf8_lossy(&second.stdout);
+    let stderr2 = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        second.status.success(),
+        "second run failed:\n{stdout2}\n{stderr2}"
+    );
+    assert!(stderr2.contains("cached"), "{stderr2}");
+    assert!(stdout2.contains("cache hit rate"), "{stdout2}");
+    assert!(
+        stdout2.contains("100%"),
+        "second run must be fully cached:\n{stdout2}"
+    );
+
+    // Two manifests, each valid JSON with the expected skeleton.
+    let manifests: Vec<_> = fs::read_dir(root.join("runs")).unwrap().collect();
+    assert_eq!(manifests.len(), 2);
+    for entry in manifests {
+        let text = fs::read_to_string(entry.unwrap().path()).unwrap();
+        let doc = chats_runner::Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("scale").and_then(chats_runner::Json::as_str),
+            Some("quick")
+        );
+        let jobs = doc.get("jobs").expect("jobs section");
+        assert_eq!(
+            jobs.get("total").and_then(chats_runner::Json::as_u64),
+            Some(1)
+        );
+        assert!(doc
+            .get("per_job")
+            .and_then(chats_runner::Json::as_arr)
+            .is_some());
+        assert!(doc
+            .get("speedup")
+            .and_then(chats_runner::Json::as_f64)
+            .is_some());
+    }
+
+    // Exactly one cache entry was produced for the one job.
+    let entries: Vec<_> = fs::read_dir(root.join("cache")).unwrap().collect();
+    assert_eq!(entries.len(), 1);
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn smoke_list_names_jobs_without_running() {
+    let root = temp_root("list");
+    let out = chats_run(&root, &["list", "chains", "--smoke", "--filter", "cadd/"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("cadd/chats"), "{stdout}");
+    assert!(stdout.contains("1 unique jobs"), "{stdout}");
+    // Listing must not create cache entries.
+    assert!(!root.join("cache").exists());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn smoke_clean_empties_the_cache() {
+    let root = temp_root("clean");
+    let run = chats_run(
+        &root,
+        &["run", "chains", "--smoke", "--filter", "cadd/", "--quiet"],
+    );
+    assert!(run.status.success());
+    assert_eq!(fs::read_dir(root.join("cache")).unwrap().count(), 1);
+
+    let clean = chats_run(&root, &["clean"]);
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(clean.status.success(), "{stdout}");
+    assert!(stdout.contains("removed 1 cache entries"), "{stdout}");
+    assert_eq!(fs::read_dir(root.join("cache")).unwrap().count(), 0);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unknown_set_and_empty_filter_fail_cleanly() {
+    let root = temp_root("errors");
+    let bad_set = chats_run(&root, &["run", "fig2", "--smoke"]);
+    assert_eq!(bad_set.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_set.stderr).contains("unknown experiment set"));
+
+    let no_match = chats_run(
+        &root,
+        &["run", "chains", "--smoke", "--filter", "no-such-workload"],
+    );
+    assert_eq!(no_match.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&no_match.stderr).contains("no jobs match"));
+    let _ = fs::remove_dir_all(&root);
+}

@@ -6,10 +6,9 @@
 //! DRAM are folded into a shared directory/LLC level plus a memory latency
 //! (see DESIGN.md §3 for the substitution argument).
 
-use serde::{Deserialize, Serialize};
-
 /// Core front-end parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreConfig {
     /// Number of simulated cores (one hardware thread each).
     pub cores: usize,
@@ -27,7 +26,8 @@ impl Default for CoreConfig {
 }
 
 /// Cache and memory hierarchy parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryConfig {
     /// L1 data cache sets.
     pub l1_sets: usize,
@@ -56,7 +56,8 @@ impl Default for MemoryConfig {
 }
 
 /// Crossbar interconnect parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NocConfig {
     /// Per-hop link latency in cycles.
     pub link_latency: u64,
@@ -86,7 +87,8 @@ impl Default for NocConfig {
 /// assert_eq!(sys.core.cores, 16);
 /// assert_eq!(sys.noc.data_flits, 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemConfig {
     /// Core parameters.
     pub core: CoreConfig,

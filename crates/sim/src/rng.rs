@@ -1,12 +1,13 @@
 //! Seedable randomness for workloads and backoff.
 //!
 //! All randomness in the simulator flows through [`SimRng`] so that a run is
-//! fully determined by its seed. The wrapper intentionally exposes a narrow
-//! API (ranges, permutations, geometric-ish skew) instead of the whole
-//! [`rand`] surface, which keeps call sites auditable.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! fully determined by its seed. The generator is an in-repo
+//! xoshiro256++ seeded through SplitMix64 — the same construction the
+//! `rand` crate's `SmallRng` uses on 64-bit targets — implemented here
+//! so the workspace builds with zero network access (see DESIGN.md
+//! "Offline builds"). The wrapper intentionally exposes a narrow API
+//! (ranges, permutations, geometric-ish skew) instead of a whole RNG
+//! crate surface, which keeps call sites auditable.
 
 /// Deterministic random-number generator used by workloads, backoff and any
 /// other stochastic simulator component.
@@ -21,14 +22,25 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
+    ///
+    /// The four xoshiro256++ state words are filled by a SplitMix64
+    /// stream over the seed, which guarantees a non-zero state.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -36,7 +48,7 @@ impl SimRng {
     /// thread its own stream while keeping the whole run a function of one
     /// root seed.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
@@ -47,7 +59,9 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "SimRng::below requires a positive bound");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift; the bias at simulator-sized bounds is
+        // far below anything the statistics could observe.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -57,12 +71,21 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "SimRng::range requires lo < hi");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
-    /// A raw 64-bit sample.
+    /// A raw 64-bit sample (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [ref mut s0, ref mut s1, ref mut s2, ref mut s3] = self.state;
+        let result = s0.wrapping_add(*s3).rotate_left(23).wrapping_add(*s0);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
+        result
     }
 
     /// Bernoulli trial: `true` with probability `num / den`.
@@ -71,14 +94,17 @@ impl SimRng {
     ///
     /// Panics if `den == 0` or `num > den`.
     pub fn chance(&mut self, num: u64, den: u64) -> bool {
-        assert!(den > 0 && num <= den, "chance({num}/{den}) is not a probability");
-        self.inner.gen_range(0..den) < num
+        assert!(
+            den > 0 && num <= den,
+            "chance({num}/{den}) is not a probability"
+        );
+        self.below(den) < num
     }
 
     /// In-place Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -161,6 +187,17 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50-element shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50-element shuffle left input unchanged"
+        );
+    }
+
+    #[test]
+    fn seed_zero_state_is_nonzero() {
+        // SplitMix64 expansion must never hand xoshiro an all-zero state.
+        let r = SimRng::seed_from(0);
+        assert!(r.state.iter().any(|&w| w != 0));
     }
 }

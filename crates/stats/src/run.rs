@@ -1,11 +1,11 @@
 //! Per-run counters.
 
 use chats_core::AbortCause;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Commit/abort split for a class of transactions (Figure 6 bars).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TxOutcomeCounts {
     /// Transactions in this class that eventually committed.
     pub committed: u64,
@@ -34,7 +34,8 @@ impl TxOutcomeCounts {
 /// s.record_abort(AbortCause::Capacity);
 /// assert_eq!(s.total_aborts(), 2);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunStats {
     /// Total simulated cycles until every thread halted.
     pub cycles: u64,

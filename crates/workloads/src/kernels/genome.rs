@@ -63,8 +63,16 @@ impl Workload for Genome {
 
     fn setup(&self, threads: usize, seed: u64, _rng: &mut SimRng) -> WorkloadSetup {
         let segs = self.segments_per_thread;
-        let (i, n, h, cnt, addr, slot, bound, tidv) =
-            (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
+        let (i, n, h, cnt, addr, slot, bound, tidv) = (
+            Reg(0),
+            Reg(1),
+            Reg(2),
+            Reg(3),
+            Reg(4),
+            Reg(5),
+            Reg(6),
+            Reg(7),
+        );
 
         let mut b = ProgramBuilder::new();
         b.imm(i, 0).imm(n, segs);

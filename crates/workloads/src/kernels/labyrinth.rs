@@ -73,7 +73,7 @@ impl Workload for Labyrinth {
             b.load(v, addr);
         }
         b.pause(80); // path computation
-        // Carve the path: write a handful of cells.
+                     // Carve the path: write a handful of cells.
         for _ in 0..WRITES_PER_PATH {
             b.imm(bound, GRID_LINES);
             b.rand(addr, bound);

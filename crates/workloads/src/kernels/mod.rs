@@ -59,7 +59,13 @@ pub fn sum_region(m: &Machine, base_line: u64, lines: u64) -> u64 {
 /// Standard serializability check: the first words of a region must sum to
 /// exactly `expect` (each committed transaction contributed exactly its
 /// increments — no lost updates, no phantom speculative writes).
-pub fn check_region_sum(m: &Machine, what: &str, base_line: u64, lines: u64, expect: u64) -> Result<(), String> {
+pub fn check_region_sum(
+    m: &Machine,
+    what: &str,
+    base_line: u64,
+    lines: u64,
+    expect: u64,
+) -> Result<(), String> {
     let got = sum_region(m, base_line, lines);
     if got == expect {
         Ok(())
@@ -80,7 +86,11 @@ pub(crate) mod testutil {
             let cfg = RunConfig::quick_test();
             let out = run_workload(w, PolicyConfig::for_system(s), &cfg)
                 .unwrap_or_else(|e| panic!("{e}"));
-            assert!(out.stats.commits > 0, "{} under {s:?}: no commits", w.name());
+            assert!(
+                out.stats.commits > 0,
+                "{} under {s:?}: no commits",
+                w.name()
+            );
         }
     }
 

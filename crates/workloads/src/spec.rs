@@ -149,7 +149,13 @@ pub fn run_workload(
                 policy.system
             ))
         }
-        Err(e) => return Err(format!("{} under {:?}: {e}", workload.name(), policy.system)),
+        Err(e) => {
+            return Err(format!(
+                "{} under {:?}: {e}",
+                workload.name(),
+                policy.system
+            ))
+        }
     };
     (setup.checker)(&m).map_err(|e| {
         format!(

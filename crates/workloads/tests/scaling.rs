@@ -4,8 +4,8 @@
 
 use chats_core::{HtmSystem, PolicyConfig};
 use chats_workloads::kernels::{
-    cadd::Cadd, genome::Genome, intruder::Intruder, kmeans::Kmeans, labyrinth::Labyrinth,
-    llb::Llb, ssca2::Ssca2, vacation::Vacation, yada::Yada,
+    cadd::Cadd, genome::Genome, intruder::Intruder, kmeans::Kmeans, labyrinth::Labyrinth, llb::Llb,
+    ssca2::Ssca2, vacation::Vacation, yada::Yada,
 };
 use chats_workloads::{run_workload, RunConfig, Workload};
 
@@ -31,47 +31,74 @@ fn scales(small: &dyn Workload, large: &dyn Workload) {
 
 #[test]
 fn genome_scales() {
-    scales(&Genome::new().with_iterations(8), &Genome::new().with_iterations(16));
+    scales(
+        &Genome::new().with_iterations(8),
+        &Genome::new().with_iterations(16),
+    );
 }
 
 #[test]
 fn intruder_scales() {
-    scales(&Intruder::new().with_iterations(8), &Intruder::new().with_iterations(16));
+    scales(
+        &Intruder::new().with_iterations(8),
+        &Intruder::new().with_iterations(16),
+    );
 }
 
 #[test]
 fn kmeans_scales() {
-    scales(&Kmeans::high().with_iterations(8), &Kmeans::high().with_iterations(16));
+    scales(
+        &Kmeans::high().with_iterations(8),
+        &Kmeans::high().with_iterations(16),
+    );
 }
 
 #[test]
 fn labyrinth_scales() {
-    scales(&Labyrinth::new().with_iterations(2), &Labyrinth::new().with_iterations(4));
+    scales(
+        &Labyrinth::new().with_iterations(2),
+        &Labyrinth::new().with_iterations(4),
+    );
 }
 
 #[test]
 fn ssca2_scales() {
-    scales(&Ssca2::new().with_iterations(16), &Ssca2::new().with_iterations(32));
+    scales(
+        &Ssca2::new().with_iterations(16),
+        &Ssca2::new().with_iterations(32),
+    );
 }
 
 #[test]
 fn vacation_scales() {
-    scales(&Vacation::low().with_iterations(8), &Vacation::low().with_iterations(16));
+    scales(
+        &Vacation::low().with_iterations(8),
+        &Vacation::low().with_iterations(16),
+    );
 }
 
 #[test]
 fn yada_scales() {
-    scales(&Yada::new().with_iterations(4), &Yada::new().with_iterations(8));
+    scales(
+        &Yada::new().with_iterations(4),
+        &Yada::new().with_iterations(8),
+    );
 }
 
 #[test]
 fn llb_scales() {
-    scales(&Llb::high().with_iterations(8), &Llb::high().with_iterations(16));
+    scales(
+        &Llb::high().with_iterations(8),
+        &Llb::high().with_iterations(16),
+    );
 }
 
 #[test]
 fn cadd_scales() {
-    scales(&Cadd::new().with_iterations(8), &Cadd::new().with_iterations(16));
+    scales(
+        &Cadd::new().with_iterations(8),
+        &Cadd::new().with_iterations(16),
+    );
 }
 
 #[test]

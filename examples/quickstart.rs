@@ -41,7 +41,6 @@ fn main() {
     let speedup = base_cycles / rows[1].1.cycles as f64;
     println!(
         "\nCHATS chained {} speculative forwardings into commits: {:.2}x speedup.",
-        rows[1].1.validations_ok,
-        speedup
+        rows[1].1.validations_ok, speedup
     );
 }

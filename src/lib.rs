@@ -51,8 +51,7 @@ pub use chats_workloads as workloads;
 /// The most common imports for running experiments.
 pub mod prelude {
     pub use chats_core::{
-        AbortCause, ForwardSet, HtmSystem, Pic, PicContext, PolicyConfig,
-        ValidationStateBuffer,
+        AbortCause, ForwardSet, HtmSystem, Pic, PicContext, PolicyConfig, ValidationStateBuffer,
     };
     pub use chats_machine::{Machine, SimError, Tuning};
     pub use chats_mem::{Addr, LineAddr};

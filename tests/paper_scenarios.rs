@@ -137,7 +137,10 @@ fn aba_speculation_is_accepted_and_correct() {
     // output equals the value of the line at its serialization point, and
     // the line only ever holds 5 or 6.
     let out = m.inspect_word(Addr(512));
-    assert!(out == 5 || out == 6, "consumer observed a phantom value {out}");
+    assert!(
+        out == 5 || out == 6,
+        "consumer observed a phantom value {out}"
+    );
     assert_eq!(m.inspect_word(Addr(0)), 5, "final value is A again");
 }
 
@@ -209,7 +212,10 @@ fn non_transactional_access_always_wins() {
     );
     // T0 retries after the plain store and its write lands last.
     assert_eq!(m.inspect_word(Addr(0)), 1);
-    assert_eq!(s.forwardings, 0, "never forward to non-transactional requesters");
+    assert_eq!(
+        s.forwardings, 0,
+        "never forward to non-transactional requesters"
+    );
 }
 
 /// The same chain scenarios must also hold under PCHATS and produce the

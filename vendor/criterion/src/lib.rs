@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+
+//! Vendored offline stand-in for `criterion`.
+//!
+//! The workspace must build with **zero network access** (see
+//! DESIGN.md "Offline builds"), so the `benches/` targets link against
+//! this in-tree shim instead of crates.io criterion. It covers the
+//! surface the bench suite uses — [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `Bencher::iter` — and reports the
+//! mean wall-clock time per iteration on stdout. No statistical
+//! analysis, no HTML reports; `cargo bench` stays a smoke-and-timing
+//! tool rather than a measurement lab.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark context handed to every group function.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// A context with the iteration filter taken from the command line
+    /// (the first free argument, as with real criterion).
+    #[must_use]
+    pub fn from_args() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            filter,
+            default_samples: 10,
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let id = id.into();
+        let samples = self.default_samples;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    fn run_one(&self, id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iterations: samples.max(1) as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iterations == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX)
+        };
+        println!(
+            "bench: {id:<50} {per_iter:>12.3?}/iter ({} iters)",
+            b.iterations
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.samples.unwrap_or(self.parent.default_samples);
+        self.parent.run_one(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures on behalf of a benchmark function.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations, timing the
+    /// whole batch.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 3,
+        };
+        let mut ran = 0u64;
+        c.bench_function("shim/self-test", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let c = Criterion {
+            filter: Some("match-me".into()),
+            default_samples: 3,
+        };
+        let mut ran = false;
+        c.run_one("other", 3, |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,439 @@
+#![warn(missing_docs)]
+
+//! Vendored offline stand-in for the `serde` facade.
+//!
+//! The real `serde` lives on crates.io; this workspace must build with
+//! **zero network access** (see DESIGN.md "Offline builds"), so the
+//! optional `serde` features of the `chats-*` crates resolve to this
+//! in-tree shim instead. It keeps the call-site surface the workspace
+//! uses — `#[derive(Serialize, Deserialize)]` — but implements a much
+//! smaller contract: types convert to and from a self-describing
+//! [`Value`] tree, which renders to and parses from JSON.
+//!
+//! This is **not** wire-compatible with the real serde data model. It
+//! exists so configuration and statistics types can opt into structured
+//! dumps without pulling ~6 crates from the network. If the repo ever
+//! needs real serde, the `[workspace.dependencies]` entry is the single
+//! place to repoint.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A self-describing value: the common shape every `Serialize` type
+/// lowers to and every `Deserialize` type is rebuilt from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (the workspace's dominant scalar).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// A string-keyed map with deterministic iteration order.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The map contents, if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence contents, if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, converting from `I64`/`U64`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, converting from `I64`/`U64`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, converting from the integer variants.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean contents, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    it.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Map(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, describing the first mismatch on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable path/shape mismatch description.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let raw = v.as_u64().ok_or_else(|| format!(
+                    "expected unsigned integer, got {v:?}"
+                ))?;
+                <$t>::try_from(raw).map_err(|_| format!(
+                    "{raw} out of range for {}", stringify!($t)
+                ))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let raw = v.as_i64().ok_or_else(|| format!(
+                    "expected signed integer, got {v:?}"
+                ))?;
+                <$t>::try_from(raw).map_err(|_| format!(
+                    "{raw} out of range for {}", stringify!($t)
+                ))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let raw = v
+            .as_u64()
+            .ok_or_else(|| format!("expected unsigned integer, got {v:?}"))?;
+        usize::try_from(raw).map_err(|_| format!("{raw} out of range for usize"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_bool()
+            .ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_f64()
+            .ok_or_else(|| format!("expected number, got {v:?}"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {v:?}"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| format!("expected sequence, got {v:?}"))?;
+        if seq.len() != N {
+            return Err(format!("expected {N}-element array, got {}", seq.len()));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Map keys renderable as strings (JSON maps are string-keyed).
+pub trait MapKey: Sized + Ord {
+    /// The string form of the key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed key.
+    fn from_key(s: &str) -> Result<Self, String>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, String> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_numeric_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, String> {
+                s.parse().map_err(|_| format!("bad numeric key {s:?}"))
+            }
+        }
+    )*};
+}
+impl_numeric_key!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_map()
+            .ok_or_else(|| format!("expected map, got {v:?}"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()), Ok(v));
+        let a = [7u64, 8];
+        assert_eq!(<[u64; 2]>::from_value(&a.to_value()), Ok(a));
+        let mut m = BTreeMap::new();
+        m.insert(3u32, 9u64);
+        assert_eq!(BTreeMap::<u32, u64>::from_value(&m.to_value()), Ok(m));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let v = Value::Str("a\"b\n".into());
+        assert_eq!(v.to_json(), "\"a\\\"b\\n\"");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::U64(1));
+        assert_eq!(Value::Map(m).to_json(), "{\"k\":1}");
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(<[u64; 3]>::from_value(&vec![1u64].to_value()).is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the shim's `to_value` / `from_value` contract by walking the raw
+//! `proc_macro::TokenStream` — no `syn`/`quote`, so the whole derive
+//! pipeline builds offline. Supported shapes are exactly the ones the
+//! workspace derives on: non-generic named structs, tuple structs
+//! (single-field tuples are transparent newtypes), unit structs, and
+//! enums with unit / tuple / named-field variants. Anything else gets a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `Serialize` (lowering to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the shim's `Deserialize` (rebuilding from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if ser {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[attr]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) and friends
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            other => return Err(format!("unsupported item prefix: {other:?}")),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type {name}; write the impl by hand"
+        ));
+    }
+    let kind = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(split_top_commas(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            other => return Err(format!("unsupported struct body for {name}: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body for {name}: {other:?}")),
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+/// Splits a token stream on top-level commas, dropping empty chunks.
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// First identifier of a field chunk after attributes and visibility.
+fn leading_ident(chunk: &[TokenTree]) -> Result<(String, usize), String> {
+    let mut j = 0;
+    loop {
+        match chunk.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                j += 1;
+                if matches!(chunk.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    j += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) => return Ok((id.to_string(), j)),
+            other => return Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_commas(stream)
+        .iter()
+        .map(|chunk| leading_ident(chunk).map(|(name, _)| name))
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let (name, j) = leading_ident(chunk)?;
+            let fields = match chunk.get(j + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(split_top_commas(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream())?)
+                }
+                _ => VariantFields::Unit, // unit variant or `= discriminant`
+            };
+            Ok(Variant { name, fields })
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(m)");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert(::std::string::String::from({vn:?}), {inner});\n\
+                             ::serde::Value::Map(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut fm = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert(::std::string::String::from({vn:?}), ::serde::Value::Map(fm));\n\
+                             ::serde::Value::Map(m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err(format!(\"expected null for {name}, got {{other:?}}\")) }}"
+        ),
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| format!(\"expected sequence for {name}, got {{v:?}}\"))?;\n\
+                 if seq.len() != {n} {{\n\
+                 return ::std::result::Result::Err(format!(\"expected {n} fields for {name}, got {{}}\", seq.len()));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(m.get({f:?})\
+                         .ok_or_else(|| ::std::string::String::from(\"{name}: missing field {f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| format!(\"expected map for {name}, got {{v:?}}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {items} }})",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&seq[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let seq = inner.as_seq().ok_or_else(|| format!(\"expected sequence for {name}::{vn}\"))?;\n\
+                                 if seq.len() != {n} {{ return ::std::result::Result::Err(format!(\"expected {n} fields for {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items})) }}",
+                                items = items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("{vn:?} => {build},\n"));
+                    }
+                    VariantFields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(fm.get({f:?})\
+                                     .ok_or_else(|| ::std::string::String::from(\"{name}::{vn}: missing field {f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let fm = inner.as_map()\
+                             .ok_or_else(|| format!(\"expected map for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {items} }}) }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(format!(\"unknown {name} variant {{other:?}}\")),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) => {{\n\
+                 let (tag, inner) = m.iter().next()\
+                 .ok_or_else(|| ::std::string::String::from(\"empty variant map for {name}\"))?;\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(format!(\"unknown {name} variant {{other:?}}\")),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(format!(\"expected variant for {name}, got {{other:?}}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n}}\n"
+    )
+}
