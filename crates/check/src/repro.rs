@@ -1,0 +1,210 @@
+//! Replayable failure reproducers.
+//!
+//! A reproducer is a self-contained JSON file — scenario, shrunk decision
+//! prefix, expected failure kind — written to `target/chats-failures/`
+//! when exploration finds a failure. `chats-check replay <file>` rebuilds
+//! the machine and re-executes the schedule bit-exactly; the replay
+//! *reproduces* iff it fails with the recorded kind.
+
+use crate::run::{run_scenario, FailureKind, RunResult};
+use crate::scenario::Scenario;
+use crate::schedule::Schedule;
+use chats_runner::hash::fnv1a_64;
+use chats_runner::Json;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Format marker so future layout changes can be detected on load.
+pub const REPRO_VERSION: u64 = 1;
+
+/// Where reproducers go unless overridden (`target/chats-failures`,
+/// honouring `CARGO_TARGET_DIR`).
+#[must_use]
+pub fn default_failures_dir() -> PathBuf {
+    let target =
+        std::env::var_os("CARGO_TARGET_DIR").map_or_else(|| PathBuf::from("target"), PathBuf::from);
+    target.join("chats-failures")
+}
+
+/// A saved, replayable failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reproducer {
+    /// The scenario the failure was found in.
+    pub scenario: Scenario,
+    /// Shrunk decision prefix (tail is all-default).
+    pub prefix: Vec<u32>,
+    /// The failure kind the schedule triggers.
+    pub kind: FailureKind,
+    /// Human-readable context: how the schedule was found, diagnostics.
+    pub note: String,
+}
+
+impl Reproducer {
+    /// JSON document (the on-disk format).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("version".to_string(), Json::U64(REPRO_VERSION));
+        m.insert("scenario".to_string(), self.scenario.to_json());
+        m.insert(
+            "prefix".to_string(),
+            Json::Arr(
+                self.prefix
+                    .iter()
+                    .map(|&c| Json::U64(u64::from(c)))
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "failure".to_string(),
+            Json::Str(self.kind.as_str().to_string()),
+        );
+        m.insert("note".to_string(), Json::Str(self.note.clone()));
+        Json::Obj(m)
+    }
+
+    /// Inverse of [`Reproducer::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(v: &Json) -> Result<Reproducer, String> {
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("reproducer: missing 'version'")?;
+        if version != REPRO_VERSION {
+            return Err(format!("reproducer: unsupported version {version}"));
+        }
+        let scenario =
+            Scenario::from_json(v.get("scenario").ok_or("reproducer: missing 'scenario'")?)?;
+        let prefix = v
+            .get("prefix")
+            .and_then(Json::as_arr)
+            .ok_or("reproducer: missing 'prefix'")?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| "reproducer: non-u32 prefix entry".to_string())
+            })
+            .collect::<Result<Vec<u32>, String>>()?;
+        let kind = v
+            .get("failure")
+            .and_then(Json::as_str)
+            .and_then(FailureKind::parse)
+            .ok_or("reproducer: missing or unknown 'failure'")?;
+        let note = v
+            .get("note")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        Ok(Reproducer {
+            scenario,
+            prefix,
+            kind,
+            note,
+        })
+    }
+
+    /// Deterministic filename: scenario name plus a content hash of the
+    /// scenario and prefix (so distinct failures never collide and
+    /// identical ones overwrite instead of piling up).
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        let mut key = self.scenario.canonical();
+        for c in &self.prefix {
+            key.push_str(&format!(",{c}"));
+        }
+        format!(
+            "{}-{:016x}.json",
+            self.scenario.name,
+            fnv1a_64(key.as_bytes())
+        )
+    }
+
+    /// Writes the reproducer under `dir` (created if needed); returns the
+    /// full path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        Ok(path)
+    }
+
+    /// Loads a reproducer from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for I/O, JSON or schema problems.
+    pub fn load(path: &Path) -> Result<Reproducer, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Reproducer::from_json(&json)
+    }
+
+    /// Re-executes the recorded schedule. Returns the run and whether the
+    /// recorded failure kind was reproduced.
+    #[must_use]
+    pub fn replay(&self) -> (RunResult, bool) {
+        let result = run_scenario(&self.scenario, &Schedule::replay(self.prefix.clone()));
+        let reproduced = result.failed_with(self.kind);
+        (result, reproduced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::smoke_scenarios;
+
+    fn sample() -> Reproducer {
+        Reproducer {
+            scenario: smoke_scenarios().remove(0),
+            prefix: vec![0, 3, 0, 1],
+            kind: FailureKind::SumMismatch,
+            note: "found by attack(defer-commits)".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let back = Reproducer::from_json(&Json::parse(&r.to_json().to_pretty()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut j = sample().to_json();
+        if let Json::Obj(m) = &mut j {
+            m.insert("version".to_string(), Json::U64(999));
+        }
+        assert!(Reproducer::from_json(&j).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn file_name_tracks_content() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.file_name(), b.file_name());
+        b.prefix.push(2);
+        assert_ne!(a.file_name(), b.file_name());
+        assert!(a.file_name().starts_with(&a.scenario.name));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("chats-repro-test-{}", std::process::id()));
+        let r = sample();
+        let path = r.save(&dir).unwrap();
+        let back = Reproducer::load(&path).unwrap();
+        assert_eq!(back, r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

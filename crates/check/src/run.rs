@@ -1,0 +1,274 @@
+//! Executing one (scenario, schedule) pair and judging the result.
+
+use crate::scenario::Scenario;
+use crate::schedule::{Recorder, Schedule};
+use chats_core::PolicyConfig;
+use chats_machine::{Machine, SimError, Tuning};
+use chats_mem::Addr;
+use chats_runner::hash::fnv1a_64;
+use chats_sim::{DecisionRecord, SystemConfig};
+use chats_tvm::Vm;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// What went wrong, when something did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The oracle recorded at least one violation (atomicity at commit or
+    /// an inconsistent forwarded read).
+    Violation,
+    /// The committed counter sum misses the serializability invariant.
+    SumMismatch,
+    /// The event queue drained with live threads (a protocol bug).
+    Deadlock,
+    /// The machine panicked on an internal invariant.
+    Panic,
+}
+
+impl FailureKind {
+    /// Stable name (reproducer JSON, manifests).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Violation => "violation",
+            FailureKind::SumMismatch => "sum_mismatch",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Panic => "panic",
+        }
+    }
+
+    /// Inverse of [`FailureKind::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FailureKind> {
+        [
+            FailureKind::Violation,
+            FailureKind::SumMismatch,
+            FailureKind::Deadlock,
+            FailureKind::Panic,
+        ]
+        .into_iter()
+        .find(|k| k.as_str() == s)
+    }
+}
+
+/// Verdict of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// All checks held.
+    Pass,
+    /// A check failed (the interesting case).
+    Fail(FailureKind),
+    /// The run hit its cycle budget — hostile schedules can legitimately
+    /// starve progress, so this is neither a pass nor a failure.
+    Inconclusive(String),
+}
+
+/// Everything observed about one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Oracle violations, rendered (empty on pass/panic).
+    pub violations: Vec<String>,
+    /// Committed counter sum actually observed.
+    pub sum: u64,
+    /// The serializability invariant (`threads * kernel.per_thread`).
+    pub expected: u64,
+    /// FNV-1a digest of the committed memory image (0 after a panic).
+    pub image_digest: u64,
+    /// The full resolved decision trace (survives panics).
+    pub decisions: Vec<DecisionRecord>,
+    /// Free-form diagnostic (panic message, deadlock dump, …).
+    pub detail: String,
+}
+
+impl RunResult {
+    /// The decision trace as a replayable choice vector.
+    #[must_use]
+    pub fn choices(&self) -> Vec<u32> {
+        self.decisions.iter().map(|d| d.chosen).collect()
+    }
+
+    /// `true` when the outcome is `Fail(kind)`.
+    #[must_use]
+    pub fn failed_with(&self, kind: FailureKind) -> bool {
+        self.outcome == Outcome::Fail(kind)
+    }
+}
+
+/// Canonical digest of a committed memory image.
+#[must_use]
+pub fn image_digest(image: &BTreeMap<u64, u64>) -> u64 {
+    let mut text = String::new();
+    for (addr, value) in image {
+        let _ = write!(text, "{addr}:{value};");
+    }
+    fnv1a_64(text.as_bytes())
+}
+
+/// Runs `scenario` under `schedule` and judges the outcome.
+///
+/// The machine runs with both oracles armed in *record* mode, so
+/// violations accumulate instead of panicking; residual panics (machine
+/// invariants) are caught and reported as [`FailureKind::Panic`]. The
+/// decision trace is recorded outside the machine and is complete even
+/// for panicked runs, which is what makes shrinking possible.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario, schedule: &Schedule) -> RunResult {
+    let kernel = scenario.program.build();
+    let expected = scenario.threads as u64 * kernel.per_thread;
+    let recorder = Recorder::default();
+    let hook = schedule.hook(Rc::clone(&recorder));
+
+    let outcome = {
+        let scenario = scenario.clone();
+        let program = kernel.program.clone();
+        // The machine panics loudly on internal invariants; silence the
+        // default hook for the duration so expected failing runs (shrink
+        // probes replay hundreds of them) do not spam stderr.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut sys = SystemConfig::small_test();
+            sys.core.cores = scenario.threads;
+            let tuning = Tuning {
+                check_atomicity: true,
+                oracle_record: true,
+                debug_skip_validation: scenario.skip_validation_bug,
+                ..Tuning::default()
+            };
+            let mut m = Machine::new(
+                sys,
+                PolicyConfig::for_system(scenario.system),
+                tuning,
+                scenario.seed,
+            );
+            m.set_decision_hook(hook);
+            for t in 0..scenario.threads {
+                m.load_thread(
+                    t,
+                    Vm::new(program.clone(), scenario.seed ^ ((t as u64) << 7)),
+                );
+            }
+            let run = m.run(scenario.max_cycles);
+            (m, run)
+        }));
+        std::panic::set_hook(prev_hook);
+        caught
+    };
+
+    let decisions = recorder.borrow().clone();
+    match outcome {
+        Err(payload) => RunResult {
+            outcome: Outcome::Fail(FailureKind::Panic),
+            violations: Vec::new(),
+            sum: 0,
+            expected,
+            image_digest: 0,
+            decisions,
+            detail: panic_message(payload.as_ref()),
+        },
+        Ok((machine, run)) => {
+            let violations: Vec<String> = machine
+                .violations()
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            let sum: u64 = kernel
+                .counters
+                .iter()
+                .map(|&a| machine.inspect_word(Addr(a)))
+                .sum();
+            let digest = image_digest(&machine.memory_image());
+            let (outcome, detail) = match run {
+                Err(SimError::Timeout { at_cycle }) => (
+                    Outcome::Inconclusive(format!("cycle budget exhausted at {at_cycle}")),
+                    String::new(),
+                ),
+                Err(SimError::Deadlock { at_cycle, detail }) => (
+                    Outcome::Fail(FailureKind::Deadlock),
+                    format!("deadlock at cycle {at_cycle}: {detail}"),
+                ),
+                Ok(_) if !violations.is_empty() => {
+                    (Outcome::Fail(FailureKind::Violation), violations.join("\n"))
+                }
+                Ok(_) if sum != expected => (
+                    Outcome::Fail(FailureKind::SumMismatch),
+                    format!("committed sum {sum}, expected {expected}"),
+                ),
+                Ok(_) => (Outcome::Pass, String::new()),
+            };
+            RunResult {
+                outcome,
+                violations,
+                sum,
+                expected,
+                image_digest: digest,
+                decisions,
+                detail,
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::smoke_scenarios;
+
+    #[test]
+    fn baseline_smoke_runs_pass() {
+        for sc in smoke_scenarios() {
+            let r = run_scenario(&sc, &Schedule::baseline());
+            assert_eq!(r.outcome, Outcome::Pass, "{}: {}", sc.name, r.detail);
+            assert_eq!(r.sum, r.expected, "{}", sc.name);
+            assert!(
+                !r.decisions.is_empty(),
+                "{}: no decisions recorded",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let sc = &smoke_scenarios()[0];
+        let a = run_scenario(sc, &Schedule::baseline());
+        let b = run_scenario(sc, &Schedule::baseline());
+        assert_eq!(a.image_digest, b.image_digest);
+        assert_eq!(a.choices(), b.choices());
+    }
+
+    #[test]
+    fn full_trace_replay_reproduces_a_random_run() {
+        let sc = &smoke_scenarios()[1];
+        let walked = run_scenario(sc, &Schedule::random(99));
+        let replayed = run_scenario(sc, &Schedule::replay(walked.choices()));
+        assert_eq!(replayed.outcome, walked.outcome);
+        assert_eq!(replayed.image_digest, walked.image_digest);
+        assert_eq!(replayed.choices(), walked.choices());
+    }
+
+    #[test]
+    fn failure_kinds_round_trip() {
+        for k in [
+            FailureKind::Violation,
+            FailureKind::SumMismatch,
+            FailureKind::Deadlock,
+            FailureKind::Panic,
+        ] {
+            assert_eq!(FailureKind::parse(k.as_str()), Some(k));
+        }
+    }
+}

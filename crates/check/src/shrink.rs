@@ -1,0 +1,110 @@
+//! Shrinking a failing decision trace to a minimal divergent prefix.
+//!
+//! Given a full failing trace, the shrinker produces a short, mostly-zero
+//! prefix that still triggers the *same* failure kind:
+//!
+//! 1. **Trim**: trailing default choices are dropped outright (a prefix is
+//!    padded with defaults implicitly, so they carry no information).
+//! 2. **Truncate**: binary search for the shortest failing prefix length.
+//!    Failure is not guaranteed monotone in prefix length, so the
+//!    candidate is re-verified and the search falls back to the last
+//!    length that provably failed.
+//! 3. **Sparsify**: each remaining non-default choice is set to 0 and kept
+//!    there if the failure survives, bounded by a probe budget so
+//!    pathological traces cannot stall the explorer.
+//!
+//! Every probe is one full deterministic simulation, so the result is
+//! exact: the returned prefix *does* fail with the reported kind.
+
+use crate::run::{run_scenario, FailureKind};
+use crate::scenario::Scenario;
+use crate::schedule::Schedule;
+
+/// Upper bound on sparsification probes (step 3).
+const SPARSIFY_BUDGET: usize = 200;
+
+/// Statistics of one shrink, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Length of the input trace.
+    pub original_len: usize,
+    /// Length of the shrunk prefix.
+    pub shrunk_len: usize,
+    /// Non-default choices remaining in the shrunk prefix.
+    pub non_default: usize,
+    /// Simulations spent shrinking.
+    pub probes: usize,
+}
+
+/// Shrinks `trace` against `scenario`, preserving failure `kind`.
+///
+/// Returns the shrunk prefix and statistics. If the trace does not
+/// reproduce the failure when replayed (which would indicate
+/// nondeterminism — a bug in itself), the input is returned unchanged
+/// with `probes == 1` so the caller still gets a faithful reproducer.
+#[must_use]
+pub fn shrink(scenario: &Scenario, trace: &[u32], kind: FailureKind) -> (Vec<u32>, ShrinkStats) {
+    let mut probes = 0usize;
+    let mut fails = |prefix: &[u32]| {
+        probes += 1;
+        run_scenario(scenario, &Schedule::replay(prefix.to_vec())).failed_with(kind)
+    };
+
+    // Step 1: trim trailing defaults (free).
+    let mut end = trace.len();
+    while end > 0 && trace[end - 1] == 0 {
+        end -= 1;
+    }
+    let mut prefix: Vec<u32> = trace[..end].to_vec();
+
+    if !fails(&prefix) {
+        let stats = ShrinkStats {
+            original_len: trace.len(),
+            shrunk_len: trace.len(),
+            non_default: trace.iter().filter(|&&c| c != 0).count(),
+            probes,
+        };
+        return (trace.to_vec(), stats);
+    }
+
+    // Step 2: binary search the shortest failing length, verified.
+    let mut known_failing = prefix.len();
+    let (mut lo, mut hi) = (0usize, prefix.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&prefix[..mid]) {
+            known_failing = mid;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    prefix.truncate(known_failing);
+
+    // Step 3: zero out non-default choices one at a time.
+    let mut budget = SPARSIFY_BUDGET;
+    for i in 0..prefix.len() {
+        if prefix[i] == 0 || budget == 0 {
+            continue;
+        }
+        budget -= 1;
+        let saved = prefix[i];
+        prefix[i] = 0;
+        if !fails(&prefix) {
+            prefix[i] = saved;
+        }
+    }
+    // Zeroing may have freed a failing tail; trim again (still failing:
+    // trailing defaults do not change the run).
+    while prefix.last() == Some(&0) {
+        prefix.pop();
+    }
+
+    let stats = ShrinkStats {
+        original_len: trace.len(),
+        shrunk_len: prefix.len(),
+        non_default: prefix.iter().filter(|&&c| c != 0).count(),
+        probes,
+    };
+    (prefix, stats)
+}

@@ -160,6 +160,57 @@ pub fn chats_receive_spec(own: PicContext, fwd_pic: Pic) -> SpecRespAction {
     }
 }
 
+/// The legal alternatives at an owner-side conflict, as enumerated for
+/// schedule exploration (`chats-check`).
+///
+/// Whatever [`chats_resolve`] (or a baseline policy) would decide, the
+/// coherence protocol itself admits two further outcomes at the same point:
+/// the owner may NACK the request (every system retries NACKed requests),
+/// or the owner may abort itself and let the requester win (always safe —
+/// it is the Baseline resolution). A schedule explorer may substitute
+/// either without violating the protocol, which is what makes conflict
+/// resolution a *decision point* rather than a fixed function.
+///
+/// Variant order matters: `from_index(0)` is the default (follow the
+/// policy), matching the decision-point convention that choice 0 perturbs
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictOverride {
+    /// Resolve exactly as the configured policy dictates.
+    FollowPolicy,
+    /// NACK the requester; it backs off and retries, the owner keeps going.
+    ForceNack,
+    /// Abort the owner and service the request with committed data
+    /// (requester-wins), regardless of policy.
+    ForceRequesterWins,
+}
+
+impl ConflictOverride {
+    /// Number of alternatives (the decision point's fan-out).
+    pub const COUNT: u32 = 3;
+
+    /// Maps a decision choice index to an override; out-of-range indices
+    /// clamp to the default.
+    #[must_use]
+    pub fn from_index(i: u32) -> ConflictOverride {
+        match i {
+            1 => ConflictOverride::ForceNack,
+            2 => ConflictOverride::ForceRequesterWins,
+            _ => ConflictOverride::FollowPolicy,
+        }
+    }
+
+    /// Stable name for traces and reproducers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ConflictOverride::FollowPolicy => "follow_policy",
+            ConflictOverride::ForceNack => "force_nack",
+            ConflictOverride::ForceRequesterWins => "force_requester_wins",
+        }
+    }
+}
+
 /// The validation-time PiC check (§IV-B): on any validation response that
 /// carries a PiC, the consumer aborts if its own PiC is greater than or
 /// equal to the response's. Returns `true` when the transaction must abort.
@@ -181,6 +232,26 @@ mod tests {
 
     fn ctx(pic: Pic, cons: bool) -> PicContext {
         PicContext { pic, cons }
+    }
+
+    #[test]
+    fn conflict_override_index_zero_is_default() {
+        assert_eq!(
+            ConflictOverride::from_index(0),
+            ConflictOverride::FollowPolicy
+        );
+        assert_eq!(
+            ConflictOverride::from_index(ConflictOverride::COUNT + 5),
+            ConflictOverride::FollowPolicy,
+            "out-of-range clamps to the default"
+        );
+        let labels: Vec<_> = (0..ConflictOverride::COUNT)
+            .map(|i| ConflictOverride::from_index(i).label())
+            .collect();
+        assert_eq!(
+            labels,
+            ["follow_policy", "force_nack", "force_requester_wins"]
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod vsb;
 pub use abort::AbortCause;
 pub use decision::{
     chats_receive_spec, chats_resolve, chats_resolve_bounded, validation_pic_check,
-    ConflictResolution, SpecRespAction,
+    ConflictOverride, ConflictResolution, SpecRespAction,
 };
 pub use levc::{LevcArbiter, LevcDecision, Timestamp, TimestampSource};
 pub use naive::NaiveValidationCounter;

@@ -91,6 +91,10 @@ pub struct CoreState {
     pub val_timer_armed: bool,
     /// `TxEnd` reached but the VSB is not yet empty.
     pub commit_pending: bool,
+    /// Times the current commit has been deferred by a schedule hook's
+    /// `CommitRelease` decision (bounded, so exploration cannot livelock a
+    /// commit-ready transaction).
+    pub commit_defers: u8,
     /// Park reason.
     pub waiting: WaitReason,
     /// The core is parked between attempts and a `RetryTx` is expected;
@@ -138,6 +142,7 @@ impl CoreState {
             val_req: None,
             val_timer_armed: false,
             commit_pending: false,
+            commit_defers: 0,
             waiting: WaitReason::None,
             awaiting_retry: false,
             attempt_forwarded: false,

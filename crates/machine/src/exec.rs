@@ -80,11 +80,13 @@ impl Machine {
         // Fast path: service from L1 if permissions allow.
         let mut wb: Option<(LineAddr, chats_mem::Line)> = None;
         let mut serviced: Option<u64> = None; // loaded value (or store sentinel)
+        let mut spec_src = false; // value descends from an unvalidated SpecResp
         {
             let c = &mut self.cores[core];
             if let Some(e) = c.l1.lookup_mut(line) {
                 if !is_store && e.state.is_readable() {
                     serviced = Some(e.data.read(addr));
+                    spec_src = e.spec_received;
                 } else if is_store && e.state.is_writable() {
                     if in_tx {
                         if !e.sm {
@@ -110,17 +112,16 @@ impl Machine {
             self.send_to_dir(core, MsgClass::Data, DirMsg::WbTiming, *acc);
         }
         if let Some(v) = serviced {
-            let c = &mut self.cores[core];
             if in_tx {
                 if is_store {
-                    c.oracle.note_write(addr, value);
+                    self.cores[core].oracle.note_write(addr, value);
                 } else {
-                    c.read_sig.insert(line);
-                    c.oracle.note_read(addr, v);
+                    self.cores[core].read_sig.insert(line);
+                    self.oracle_read(core, addr, v, spec_src);
                 }
             }
             *acc += hit_latency;
-            let vm = c.vm.as_mut().expect("no thread");
+            let vm = self.cores[core].vm.as_mut().expect("no thread");
             if is_store {
                 vm.complete_store();
             } else {
@@ -204,8 +205,9 @@ impl Machine {
             }
             ExecMode::Tx => {
                 if self.cores[core].vsb.is_empty() {
-                    self.do_commit(core);
-                    true
+                    // `try_commit` may defer under a schedule hook; the
+                    // burst then parks until the CommitRelease event.
+                    self.try_commit(core)
                 } else {
                     self.cores[core].commit_pending = true;
                     self.kick_validation(core);
@@ -216,13 +218,36 @@ impl Machine {
         }
     }
 
+    /// Commits `core`'s transaction now, unless a schedule hook defers it
+    /// (bounded times) to let other chain links race the commit order.
+    /// Returns `true` if the commit happened; on `false` the core keeps
+    /// `commit_pending` set and a `CommitRelease` event is scheduled.
+    pub(crate) fn try_commit(&mut self, core: usize) -> bool {
+        const MAX_COMMIT_DEFERS: u8 = 4;
+        if self.hook_active()
+            && self.cores[core].commit_defers < MAX_COMMIT_DEFERS
+            && self.decide(chats_sim::DecisionKind::CommitRelease, Some(core), 2) == 1
+        {
+            let at = self.clock + self.tuning.commit_validation_gap.max(1);
+            let c = &mut self.cores[core];
+            c.commit_defers += 1;
+            c.commit_pending = true;
+            let epoch = c.epoch;
+            self.events.push(at, Event::CommitRelease { core, epoch });
+            return false;
+        }
+        self.do_commit(core);
+        true
+    }
+
     /// Commits the running transaction (the VSB is empty by construction).
     ///
     /// # Panics
     ///
-    /// With the atomicity oracle enabled, panics if any transactionally
-    /// read word does not equal the committed value at the commit instant —
-    /// a serializability bug in the protocol, never a workload condition.
+    /// With the atomicity oracle enabled (and not in record mode), panics
+    /// if any transactionally read word does not equal the committed value
+    /// at the commit instant — a serializability bug in the protocol,
+    /// never a workload condition.
     pub(crate) fn do_commit(&mut self, core: usize) {
         self.cores[core].l1.commit_speculative();
         if self.cores[core].oracle.is_enabled() {
@@ -237,12 +262,22 @@ impl Machine {
                 .oracle
                 .check_commit(|a| committed_now[&a.0]);
             if let Err((a, observed, committed)) = verdict {
-                panic!(
-                    "atomicity violated at commit on core {core}: word {a:#x} \
-                     was read as {observed} but the committed value is {committed}\n{}\nwatch log:\n{}",
-                    self.describe_line(Addr(a).line()),
-                    self.watch_log().join("\n")
-                );
+                if self.tuning.oracle_record {
+                    self.violations.push(crate::Violation::AtomicityAtCommit {
+                        core,
+                        addr: a,
+                        observed,
+                        committed,
+                        at: self.clock.0,
+                    });
+                } else {
+                    panic!(
+                        "atomicity violated at commit on core {core}: word {a:#x} \
+                         was read as {observed} but the committed value is {committed}\n{}\nwatch log:\n{}",
+                        self.describe_line(Addr(a).line()),
+                        self.watch_log().join("\n")
+                    );
+                }
             }
             self.cores[core].oracle.reset();
         }
@@ -255,6 +290,7 @@ impl Machine {
             c.levc_ts = None;
             c.naive.reset();
             c.commit_pending = false;
+            c.commit_defers = 0;
             c.mode = ExecMode::Plain;
             c.retry.reset();
             let p = c.is_power;
@@ -313,6 +349,7 @@ impl Machine {
             c.levc.reset();
             c.naive.reset();
             c.commit_pending = false;
+            c.commit_defers = 0;
             c.val_req = None;
             c.val_timer_armed = false;
             c.pending_mem = None;

@@ -63,5 +63,5 @@ mod trace;
 mod validate;
 
 pub use core_state::ExecMode;
-pub use machine::{Machine, SimError, Tuning};
+pub use machine::{DecisionHook, Machine, SimError, Tuning, Violation};
 pub use trace::TraceEvent;

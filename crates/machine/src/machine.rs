@@ -6,11 +6,14 @@ use crate::msg::{CoreMsg, DirMsg, Event, Request};
 use crate::trace::{Trace, TraceEvent};
 use chats_core::retry::FallbackLock;
 use chats_core::{PolicyConfig, PowerToken, TimestampSource};
-use chats_mem::{Addr, CoherenceState};
+use chats_mem::{Addr, CoherenceState, WORDS_PER_LINE};
 use chats_noc::{Crossbar, MsgClass, NodeId};
-use chats_sim::{Cycle, EventQueue, SimRng, SystemConfig};
+use chats_sim::{
+    Cycle, DecisionKind, DecisionPoint, DecisionRecord, EventQueue, SimRng, SystemConfig,
+};
 use chats_stats::RunStats;
 use chats_tvm::Vm;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
@@ -34,9 +37,25 @@ pub struct Tuning {
     /// equals the committed value at the commit instant). Used by the test
     /// suite; off by default.
     pub check_atomicity: bool,
+    /// Oracle *record* mode: instead of panicking on the first violation,
+    /// accumulate [`Violation`]s on the machine (see
+    /// [`Machine::violations`]) and keep running. Also arms the online
+    /// opacity check: every non-speculative-lineage transactional read is
+    /// compared against the committed value at the read instant, so aborted
+    /// attempts that observed inconsistent data are flagged even though
+    /// they never reach the commit check. Requires `check_atomicity`.
+    pub oracle_record: bool,
     /// Debug: log every protocol action touching this line (printed into
     /// oracle-violation panics).
     pub watch_line: Option<chats_mem::LineAddr>,
+    /// Planted-bug switch for the checking harness: skip the value
+    /// comparison on validation responses, silently "validating" every
+    /// speculated line. This breaks the protocol's §III-A guarantee on
+    /// purpose — `chats-check`'s acceptance test flips it to prove the
+    /// oracle catches the resulting atomicity violations. Never set this
+    /// outside tests.
+    #[doc(hidden)]
+    pub debug_skip_validation: bool,
 }
 
 impl Default for Tuning {
@@ -47,10 +66,85 @@ impl Default for Tuning {
             commit_validation_gap: 16,
             compute_slice_max: 256,
             check_atomicity: false,
+            oracle_record: false,
             watch_line: None,
+            debug_skip_validation: false,
         }
     }
 }
+
+/// A serializability/opacity violation detected by the oracle in record
+/// mode ([`Tuning::oracle_record`]). Each violation is a protocol bug,
+/// never a workload condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// A committed transaction's read-only observation did not equal the
+    /// committed value at the commit instant (§III-C atomicity).
+    AtomicityAtCommit {
+        /// Core that committed.
+        core: usize,
+        /// Word address.
+        addr: u64,
+        /// Value the transaction observed.
+        observed: u64,
+        /// Committed value at the commit instant.
+        committed: u64,
+        /// Cycle of the commit.
+        at: u64,
+    },
+    /// A running transaction observed, through a non-speculative lineage
+    /// (no forwarding involved), a value different from the committed one —
+    /// an inconsistent snapshot that even an aborted attempt must never see
+    /// (opacity).
+    InconsistentRead {
+        /// Core that read.
+        core: usize,
+        /// Word address.
+        addr: u64,
+        /// Value the transaction observed.
+        observed: u64,
+        /// Committed value at the read instant.
+        committed: u64,
+        /// Cycle of the read.
+        at: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::AtomicityAtCommit {
+                core,
+                addr,
+                observed,
+                committed,
+                at,
+            } => write!(
+                f,
+                "atomicity violated at commit on core {core} at cycle {at}: \
+                 word {addr:#x} was read as {observed} but the committed value is {committed}"
+            ),
+            Violation::InconsistentRead {
+                core,
+                addr,
+                observed,
+                committed,
+                at,
+            } => write!(
+                f,
+                "inconsistent read on core {core} at cycle {at}: word {addr:#x} \
+                 observed as {observed} while the committed value is {committed}"
+            ),
+        }
+    }
+}
+
+/// A schedule hook: given a decision point and its fan-out, returns the
+/// choice to take (`0` = default; out-of-range choices clamp). Installed
+/// via [`Machine::set_decision_hook`]; with no hook installed the machine
+/// takes choice 0 everywhere without recording anything, and behaves
+/// bit-identically to builds that predate decision points.
+pub type DecisionHook = Box<dyn FnMut(&DecisionPoint, u32) -> u32>;
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +206,9 @@ pub struct Machine {
     pub(crate) halted: usize,
     pub(crate) trace: Trace,
     pub(crate) watch_log: Vec<String>,
+    pub(crate) hook: Option<DecisionHook>,
+    pub(crate) decision_log: Vec<DecisionRecord>,
+    pub(crate) violations: Vec<Violation>,
 }
 
 impl fmt::Debug for Machine {
@@ -144,7 +241,7 @@ impl Machine {
                     policy.retries,
                     power_threshold,
                 );
-                if tuning.check_atomicity {
+                if tuning.check_atomicity || tuning.oracle_record {
                     c.oracle.enable();
                 }
                 c
@@ -167,7 +264,64 @@ impl Machine {
             halted: n,
             trace: Trace::default(),
             watch_log: Vec::new(),
+            hook: None,
+            decision_log: Vec::new(),
+            violations: Vec::new(),
         }
+    }
+
+    /// Installs a schedule hook that resolves every decision point of the
+    /// run (see [`DecisionHook`]). All decisions are recorded in
+    /// [`Machine::decision_log`], so any run can be replayed by feeding the
+    /// log back as a prefix. Call before [`Machine::run`].
+    pub fn set_decision_hook(&mut self, hook: DecisionHook) {
+        self.hook = Some(hook);
+    }
+
+    /// `true` while a schedule hook is installed (decision points active).
+    #[must_use]
+    pub(crate) fn hook_active(&self) -> bool {
+        self.hook.is_some()
+    }
+
+    /// Resolves one decision point: asks the hook (when installed) and logs
+    /// the outcome. Without a hook this is never called on hot paths — call
+    /// sites guard with [`Machine::hook_active`] — but it degrades to
+    /// choice 0 regardless.
+    pub(crate) fn decide(&mut self, kind: DecisionKind, core: Option<usize>, choices: u32) -> u32 {
+        debug_assert!(choices >= 2, "a decision needs at least two choices");
+        let chosen = match self.hook.as_mut() {
+            None => 0,
+            Some(h) => {
+                let dp = DecisionPoint {
+                    index: self.decision_log.len() as u64,
+                    kind,
+                    core,
+                };
+                h(&dp, choices).min(choices - 1)
+            }
+        };
+        if self.hook.is_some() {
+            self.decision_log.push(DecisionRecord {
+                kind,
+                choices,
+                chosen,
+            });
+        }
+        chosen
+    }
+
+    /// Every decision made during the run, in stream order (empty unless a
+    /// hook was installed).
+    #[must_use]
+    pub fn decision_log(&self) -> &[DecisionRecord] {
+        &self.decision_log
+    }
+
+    /// Violations recorded by the oracle ([`Tuning::oracle_record`]).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
     }
 
     /// Installs a thread on `core`.
@@ -203,6 +357,72 @@ impl Machine {
             }
         }
         self.dir.store.read_word(addr)
+    }
+
+    /// The committed memory image after a run, as `word address -> value`
+    /// for every nonzero word of every line the run touched, under the
+    /// [`Machine::inspect_word`] visibility rule (a `Modified`
+    /// non-speculative L1 copy wins over the backing store). Keys are
+    /// sorted, so equal images compare and hash identically — the
+    /// cross-policy differential tests depend on that.
+    #[must_use]
+    pub fn memory_image(&self) -> BTreeMap<u64, u64> {
+        let mut lines: BTreeSet<chats_mem::LineAddr> =
+            self.dir.store.lines().map(|(l, _)| l).collect();
+        for c in &self.cores {
+            for e in c.l1.iter() {
+                if e.state == CoherenceState::Modified && !e.sm && !e.spec_received {
+                    lines.insert(e.addr);
+                }
+            }
+        }
+        let mut image = BTreeMap::new();
+        for l in lines {
+            for off in 0..WORDS_PER_LINE {
+                let a = l.base_word().offset(off);
+                let v = self.inspect_word(a);
+                if v != 0 {
+                    image.insert(a.0, v);
+                }
+            }
+        }
+        image
+    }
+
+    /// Oracle entry point for every transactional load: records the
+    /// observation and, in record mode, cross-checks reads of
+    /// *non-speculative lineage* (no forwarding anywhere between the
+    /// committed value and this observation) against the committed value at
+    /// the read instant. A mismatch means the transaction is executing on
+    /// an inconsistent snapshot — an opacity violation even if it later
+    /// aborts. Speculative-lineage reads (`spec_lineage`, or a line still
+    /// marked `spec_received`) are legitimately unvalidated and are checked
+    /// at commit instead.
+    pub(crate) fn oracle_read(&mut self, core: usize, addr: Addr, value: u64, spec_lineage: bool) {
+        if !self.cores[core].oracle.is_enabled() {
+            return;
+        }
+        self.cores[core].oracle.note_read(addr, value);
+        if !self.tuning.oracle_record || spec_lineage || self.cores[core].oracle.wrote(addr.0) {
+            return;
+        }
+        if self.cores[core]
+            .l1
+            .lookup(addr.line())
+            .is_some_and(|e| e.spec_received)
+        {
+            return;
+        }
+        let committed = self.inspect_word(addr);
+        if committed != value {
+            self.violations.push(Violation::InconsistentRead {
+                core,
+                addr: addr.0,
+                observed: value,
+                committed,
+                at: self.clock.0,
+            });
+        }
     }
 
     /// The active policy configuration.
@@ -328,7 +548,7 @@ impl Machine {
                     .push(Cycle(core as u64), Event::CoreStep { core, epoch });
             }
         }
-        while let Some((t, ev)) = self.events.pop() {
+        while let Some((t, ev)) = self.next_event() {
             if t.0 > max_cycles {
                 return Err(SimError::Timeout { at_cycle: t.0 });
             }
@@ -346,6 +566,22 @@ impl Machine {
         }
         self.finish_stats();
         Ok(self.stats.clone())
+    }
+
+    /// Pops the next event. With a schedule hook installed, same-cycle ties
+    /// become a [`DecisionKind::TieBreak`] point; without one this is a
+    /// plain FIFO pop.
+    fn next_event(&mut self) -> Option<(Cycle, Event)> {
+        if self.hook.is_none() {
+            return self.events.pop();
+        }
+        let width = self.events.tie_width();
+        let k = if width > 1 {
+            self.decide(DecisionKind::TieBreak, None, width as u32) as usize
+        } else {
+            0
+        };
+        self.events.pop_tied(k)
     }
 
     fn finish_stats(&mut self) {
@@ -381,6 +617,18 @@ impl Machine {
             Event::ValidationTick { core, epoch } => {
                 if self.cores[core].epoch == epoch {
                     self.validation_tick(core);
+                }
+            }
+            Event::CommitRelease { core, epoch } => {
+                if self.cores[core].epoch == epoch
+                    && self.cores[core].in_tx()
+                    && self.cores[core].commit_pending
+                    && self.cores[core].vsb.is_empty()
+                    && self.try_commit(core)
+                {
+                    let ep = self.cores[core].epoch;
+                    self.events
+                        .push(self.clock + 1, Event::CoreStep { core, epoch: ep });
                 }
             }
             Event::DirRecv(msg) => self.dir_recv(msg),

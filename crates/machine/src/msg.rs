@@ -154,6 +154,14 @@ pub enum Event {
         /// Epoch guard.
         epoch: u64,
     },
+    /// A deferred commit (schedule exploration's `CommitRelease` decision)
+    /// is due: commit now if the transaction is still commit-ready.
+    CommitRelease {
+        /// Core whose commit was deferred.
+        core: usize,
+        /// Epoch guard.
+        epoch: u64,
+    },
     /// A message arrived at the directory.
     DirRecv(DirMsg),
     /// A message arrived at a core.

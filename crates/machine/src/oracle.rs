@@ -54,6 +54,13 @@ impl Oracle {
         }
     }
 
+    /// `true` if the transaction itself wrote `addr` (such reads observe
+    /// the transaction's own tentative value, exempt from consistency
+    /// checks).
+    pub(crate) fn wrote(&self, addr: u64) -> bool {
+        self.writes.contains_key(&addr)
+    }
+
     /// Clears the log (abort or commit).
     pub(crate) fn reset(&mut self) {
         self.reads.clear();

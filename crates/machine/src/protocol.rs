@@ -310,7 +310,26 @@ impl Machine {
 
         self.stats.conflicts += 1;
         self.cores[core].attempt_conflicted = true;
-        match self.decide_conflict(core, &req, in_ws, has_copy) {
+        // Schedule exploration may substitute either protocol-legal
+        // alternative (NACK or requester-wins) for whatever the policy
+        // decides. The override is consulted *before* `decide_conflict` so
+        // an overridden forwarding never mutates the producer's PiC.
+        let action = if self.hook_active() {
+            use chats_core::ConflictOverride;
+            let choice = self.decide(
+                chats_sim::DecisionKind::ConflictAction,
+                Some(core),
+                ConflictOverride::COUNT,
+            );
+            match ConflictOverride::from_index(choice) {
+                ConflictOverride::FollowPolicy => self.decide_conflict(core, &req, in_ws, has_copy),
+                ConflictOverride::ForceNack => OwnerAction::Nack,
+                ConflictOverride::ForceRequesterWins => OwnerAction::AbortSelf,
+            }
+        } else {
+            self.decide_conflict(core, &req, in_ws, has_copy)
+        };
+        match action {
             OwnerAction::Forward(pic) => {
                 self.cores[core].attempt_forwarded = true;
                 self.stats.forwardings += 1;
@@ -500,6 +519,7 @@ impl Machine {
             return; // capacity abort
         }
         let in_tx = self.cores[core].in_tx();
+        let mut loaded: Option<u64> = None;
         {
             let c = &mut self.cores[core];
             if pm.is_store {
@@ -520,16 +540,24 @@ impl Machine {
                 if in_tx {
                     c.read_sig.insert(line);
                 }
-                let v =
+                loaded = Some(
                     c.l1.lookup(line)
                         .expect("line just inserted")
                         .data
-                        .read(pm.addr);
-                if in_tx {
-                    c.oracle.note_read(pm.addr, v);
-                }
-                c.vm.as_mut().expect("no thread").complete_load(v);
+                        .read(pm.addr),
+                );
             }
+        }
+        if let Some(v) = loaded {
+            if in_tx {
+                // Demand data is the committed version by construction.
+                self.oracle_read(core, pm.addr, v, false);
+            }
+            self.cores[core]
+                .vm
+                .as_mut()
+                .expect("no thread")
+                .complete_load(v);
         }
         let epoch = self.cores[core].epoch;
         let at = self.clock + self.cfg.mem.l1_hit_latency;
@@ -605,6 +633,7 @@ impl Machine {
             .pending_mem
             .take()
             .expect("pending op checked above");
+        let mut loaded: Option<u64> = None;
         {
             let c = &mut self.cores[core];
             let e = c.l1.lookup_mut(line).expect("line just inserted");
@@ -617,9 +646,17 @@ impl Machine {
             } else {
                 let v = e.data.read(pm.addr);
                 c.read_sig.insert(line);
-                c.oracle.note_read(pm.addr, v);
-                c.vm.as_mut().expect("no thread").complete_load(v);
+                loaded = Some(v);
             }
+        }
+        if let Some(v) = loaded {
+            // Speculative lineage: checked by validation + commit oracle.
+            self.oracle_read(core, pm.addr, v, true);
+            self.cores[core]
+                .vm
+                .as_mut()
+                .expect("no thread")
+                .complete_load(v);
         }
         self.arm_validation(core);
         let epoch = self.cores[core].epoch;

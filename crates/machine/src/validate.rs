@@ -16,14 +16,30 @@ impl Machine {
             // LEVC-BE-Idealized: validation happens only at commit.
             return;
         }
-        let c = &mut self.cores[core];
-        if c.val_timer_armed || c.vsb.is_empty() {
+        if self.cores[core].val_timer_armed || self.cores[core].vsb.is_empty() {
             return;
         }
+        let delay = self.pacing_delay(core, interval);
+        let c = &mut self.cores[core];
         c.val_timer_armed = true;
         let epoch = c.epoch;
         self.events
-            .push(self.clock + interval, Event::ValidationTick { core, epoch });
+            .push(self.clock + delay, Event::ValidationTick { core, epoch });
+    }
+
+    /// The `ValidationPacing` decision: how long until the next validation
+    /// action. 0 = the configured `base` (default), 1 = delayed 8×
+    /// (validation starved until just before commit), 2 = next cycle
+    /// (validation races the forwarding it validates).
+    fn pacing_delay(&mut self, core: usize, base: u64) -> u64 {
+        if !self.hook_active() {
+            return base;
+        }
+        match self.decide(chats_sim::DecisionKind::ValidationPacing, Some(core), 3) {
+            1 => base * 8,
+            2 => 1,
+            _ => base,
+        }
     }
 
     /// The validation timer fired.
@@ -86,7 +102,7 @@ impl Machine {
             .get(line)
             .expect("validation response for untracked line")
             .data;
-        if data != pristine {
+        if data != pristine && !self.tuning.debug_skip_validation {
             // The producer overwrote or aborted, or a third writer
             // intervened: the speculation was wrong (§III-A).
             self.do_abort(core, AbortCause::ValidationMismatch);
@@ -131,7 +147,7 @@ impl Machine {
             .get(line)
             .expect("validation response for untracked line")
             .data;
-        if data != pristine {
+        if data != pristine && !self.tuning.debug_skip_validation {
             self.do_abort(core, AbortCause::ValidationMismatch);
             return;
         }
@@ -161,23 +177,21 @@ impl Machine {
     /// Schedules the next validation action after a probe concluded
     /// without aborting.
     fn after_validation_step(&mut self, core: usize) {
-        let c = &self.cores[core];
-        if c.vsb.is_empty() {
+        if self.cores[core].vsb.is_empty() {
             // All consumptions validated: drop the Cons bit; the PiC stays
             // until commit — we may still be a producer (§IV-B).
             self.cores[core].pic.cons = false;
-            if self.cores[core].commit_pending {
-                self.do_commit(core);
+            if self.cores[core].commit_pending && self.try_commit(core) {
                 let epoch = self.cores[core].epoch;
                 self.events
                     .push(self.clock + 1, Event::CoreStep { core, epoch });
             }
             return;
         }
-        if c.commit_pending {
+        if self.cores[core].commit_pending {
             // Commit is blocked on the VSB: keep validating continuously.
-            let epoch = c.epoch;
-            let at = self.clock + self.tuning.commit_validation_gap;
+            let at = self.clock + self.pacing_delay(core, self.tuning.commit_validation_gap);
+            let epoch = self.cores[core].epoch;
             self.events.push(at, Event::ValidationTick { core, epoch });
             self.cores[core].val_timer_armed = true;
         } else {

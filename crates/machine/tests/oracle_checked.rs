@@ -101,3 +101,36 @@ fn oracle_survives_many_seeds_under_chats() {
         run_checked(HtmSystem::Chats, seed);
     }
 }
+
+/// The paper-scale variant: the full default geometry (16 cores, 64-set
+/// x 12-way L1s) instead of `small_test`, every system, heavier kernels.
+/// Too slow for the default `cargo test` wall; run via
+/// `cargo test -- --ignored` (the CI nightly/ignored step does).
+#[test]
+#[ignore = "paper-scale (16-core) oracle run; exercised by the CI --ignored step"]
+fn paper_config_sixteen_cores_pass_the_oracle() {
+    const CORES: usize = 16;
+    const ITERS: u64 = 40;
+    for (k, &system) in HtmSystem::ALL.iter().enumerate() {
+        let seed = 0x9A9E_0000 + k as u64;
+        let sys = SystemConfig::default(); // 16 cores, paper geometry
+        assert_eq!(sys.core.cores, CORES, "paper config must be 16 cores");
+        let mut m = Machine::new(
+            sys,
+            PolicyConfig::for_system(system),
+            checked_tuning(),
+            seed,
+        );
+        for t in 0..CORES {
+            m.load_thread(t, Vm::new(kernel(ITERS), seed ^ (t as u64) << 9));
+        }
+        m.run(500_000_000)
+            .unwrap_or_else(|e| panic!("{system:?}: {e}"));
+        let total: u64 = (0..4).map(|l| m.inspect_word(Addr(l * 8))).sum();
+        assert_eq!(
+            total,
+            CORES as u64 * ITERS,
+            "{system:?}: committed increments must sum at paper scale"
+        );
+    }
+}

@@ -6,40 +6,11 @@ use chats_core::{HtmSystem, PolicyConfig};
 use chats_machine::{Machine, Tuning};
 use chats_mem::Addr;
 use chats_sim::SystemConfig;
-use chats_tvm::{ProgramBuilder, Reg, Vm};
+use chats_tvm::{gen, Vm};
 use proptest::prelude::*;
 
-/// Each thread runs `iters` transactions, each incrementing `per_tx`
-/// random counters from a pool of `pool` lines (pool is a power of two).
-fn torture_program(iters: u64, per_tx: u64, pool: u64) -> chats_tvm::Program {
-    let (i, n, j, k, addr, v, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
-    let mut b = ProgramBuilder::new();
-    b.imm(i, 0).imm(n, iters);
-    let outer = b.label();
-    b.bind(outer);
-    b.tx_begin();
-    b.imm(j, 0);
-    let inner = b.label();
-    b.bind(inner);
-    b.imm(bound, pool);
-    b.rand(k, bound);
-    b.shli(addr, k, 3);
-    b.load(v, addr);
-    b.addi(v, v, 1);
-    b.store(addr, v);
-    b.addi(j, j, 1);
-    b.imm(k, per_tx);
-    b.blt(j, k, inner);
-    b.tx_end();
-    b.pause(30);
-    b.addi(i, i, 1);
-    b.blt(i, n, outer);
-    b.halt();
-    b.build()
-}
-
 fn run_case(system: HtmSystem, threads: usize, iters: u64, per_tx: u64, pool: u64, seed: u64) {
-    let prog = torture_program(iters, per_tx, pool);
+    let kernel = gen::torture(iters, per_tx, pool);
     let mut sys = SystemConfig::small_test();
     sys.core.cores = threads;
     let tuning = Tuning {
@@ -48,12 +19,16 @@ fn run_case(system: HtmSystem, threads: usize, iters: u64, per_tx: u64, pool: u6
     };
     let mut m = Machine::new(sys, PolicyConfig::for_system(system), tuning, seed);
     for t in 0..threads {
-        m.load_thread(t, Vm::new(prog.clone(), seed ^ (t as u64) << 7));
+        m.load_thread(t, Vm::new(kernel.program.clone(), seed ^ (t as u64) << 7));
     }
     m.run(100_000_000)
         .unwrap_or_else(|e| panic!("{system:?} t={threads} seed={seed}: {e}"));
-    let total: u64 = (0..pool).map(|l| m.inspect_word(Addr(l * 8))).sum();
-    let expect = threads as u64 * iters * per_tx;
+    let total: u64 = kernel
+        .counters
+        .iter()
+        .map(|&w| m.inspect_word(Addr(w)))
+        .sum();
+    let expect = threads as u64 * kernel.per_thread;
     assert_eq!(
         total, expect,
         "{system:?} threads={threads} iters={iters} per_tx={per_tx} pool={pool} seed={seed}"

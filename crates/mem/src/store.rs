@@ -63,6 +63,12 @@ impl BackingStore {
     pub fn touched_lines(&self) -> usize {
         self.lines.len()
     }
+
+    /// Every line ever written, in no particular order (callers that need
+    /// determinism must sort; see `Machine::memory_image`).
+    pub fn lines(&self) -> impl Iterator<Item = (LineAddr, &Line)> {
+        self.lines.iter().map(|(a, l)| (*a, l))
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +99,16 @@ mod tests {
         m.write_line(LineAddr(0), Line::splat(7));
         assert_eq!(m.read_word(Addr(0)), 7);
         assert_eq!(m.read_word(Addr(7)), 7);
+    }
+
+    #[test]
+    fn lines_iterates_written_lines() {
+        let mut m = BackingStore::new();
+        m.write_word(Addr(0), 1);
+        m.write_word(Addr(16), 2);
+        let mut seen: Vec<u64> = m.lines().map(|(a, _)| a.index()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2]);
     }
 
     #[test]

@@ -153,6 +153,45 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
 
+    /// Number of events tied at the earliest timestamp (0 when empty).
+    ///
+    /// This is an O(n) scan, intended for schedule exploration where a
+    /// tie-break decision point only exists when more than one event is
+    /// deliverable "now". The simulation fast path never calls it.
+    pub fn tie_width(&self) -> usize {
+        match self.heap.peek() {
+            None => 0,
+            Some(Reverse(first)) => {
+                let at = first.at;
+                self.heap.iter().filter(|Reverse(e)| e.at == at).count()
+            }
+        }
+    }
+
+    /// Removes and returns the `k`-th event (in FIFO order) among those tied
+    /// at the earliest timestamp; `k` is clamped to the tie width, and
+    /// `pop_tied(0)` is exactly [`EventQueue::pop`].
+    ///
+    /// The events skipped over keep their original sequence numbers, so the
+    /// relative FIFO order of everything left in the queue is unchanged —
+    /// a perturbed schedule differs from the default one *only* in the
+    /// chosen delivery, never in collateral reordering.
+    pub fn pop_tied(&mut self, k: usize) -> Option<(Cycle, E)> {
+        if k == 0 {
+            return self.pop();
+        }
+        let at = self.peek_time()?;
+        let mut tied = Vec::new();
+        while self.heap.peek().map(|Reverse(e)| e.at) == Some(at) {
+            tied.push(self.heap.pop().expect("peeked entry vanished").0);
+        }
+        let chosen = tied.remove(k.min(tied.len() - 1));
+        for e in tied {
+            self.heap.push(Reverse(e));
+        }
+        Some((chosen.at, chosen.event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -230,6 +269,56 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Cycle(4)));
         q.pop();
         assert_eq!(q.peek_time(), Some(Cycle(9)));
+    }
+
+    #[test]
+    fn tie_width_counts_earliest_only() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.tie_width(), 0);
+        q.push(Cycle(5), 'a');
+        q.push(Cycle(5), 'b');
+        q.push(Cycle(9), 'c');
+        assert_eq!(q.tie_width(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.tie_width(), 1);
+    }
+
+    #[test]
+    fn pop_tied_selects_kth_and_preserves_fifo() {
+        let mut q = EventQueue::new();
+        for (i, e) in ['a', 'b', 'c', 'd'].into_iter().enumerate() {
+            q.push(Cycle(if e == 'd' { 8 } else { 3 }), (i, e));
+        }
+        // Pick 'c' (k = 2) out of the Cycle(3) tie; 'a' and 'b' keep order.
+        assert_eq!(q.pop_tied(2), Some((Cycle(3), (2, 'c'))));
+        assert_eq!(q.pop(), Some((Cycle(3), (0, 'a'))));
+        assert_eq!(q.pop(), Some((Cycle(3), (1, 'b'))));
+        assert_eq!(q.pop(), Some((Cycle(8), (3, 'd'))));
+    }
+
+    #[test]
+    fn pop_tied_clamps_out_of_range_k() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), 'x');
+        q.push(Cycle(1), 'y');
+        assert_eq!(q.pop_tied(99), Some((Cycle(1), 'y')));
+        assert_eq!(q.pop_tied(99), Some((Cycle(1), 'x')));
+        assert_eq!(q.pop_tied(0), None);
+    }
+
+    #[test]
+    fn pop_tied_zero_matches_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for i in 0..20 {
+            a.push(Cycle(i / 3), i);
+            b.push(Cycle(i / 3), i);
+        }
+        while let Some(x) = a.pop() {
+            assert_eq!(Some(x), b.pop_tied(0));
+        }
+        assert_eq!(b.pop_tied(0), None);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`EventQueue`] — a priority queue of events with *stable* tie-breaking,
 //!   so that two runs with the same seed produce bit-identical schedules,
 //! * [`SimRng`] — a small, seedable random-number generator wrapper,
+//! * [`schedule`] — the decision-point vocabulary schedule exploration
+//!   (`chats-check`) uses to perturb and replay interleavings,
 //! * [`config`] — the Table-I style machine description shared by the
 //!   memory hierarchy, interconnect and core models.
 //!
@@ -29,7 +31,9 @@
 pub mod config;
 pub mod event;
 pub mod rng;
+pub mod schedule;
 
 pub use config::{CoreConfig, MemoryConfig, NocConfig, SystemConfig};
 pub use event::{Cycle, EventQueue};
 pub use rng::SimRng;
+pub use schedule::{DecisionKind, DecisionPoint, DecisionRecord};

@@ -1,0 +1,118 @@
+//! Decision points and schedule traces for systematic exploration.
+//!
+//! A deterministic simulation has exactly one schedule per seed. To *search*
+//! for adversarial interleavings, the machine model exposes every place where
+//! "the hardware could legally have done something else" as an explicit
+//! **decision point**: a `(kind, fan-out)` pair resolved to a choice index.
+//! Choice `0` is always the default — the behaviour the unhooked simulator
+//! exhibits — so the all-zeros schedule reproduces the baseline run
+//! bit-exactly, and any schedule can be serialised as a plain `Vec<u32>`
+//! prefix over the decision stream (`chats-check` builds on exactly that).
+//!
+//! This module only defines the vocabulary; the machine model decides where
+//! decision points live and what each choice means (see DESIGN.md §10).
+
+use std::fmt;
+
+/// The category of a decision point. The explorer uses kinds to aim
+/// perturbations (e.g. "delay every validation" targets
+/// [`DecisionKind::ValidationPacing`] only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionKind {
+    /// Which of several events tied at the current cycle is delivered next.
+    /// Fan-out: the tie width. Choice 0 = FIFO order (the default).
+    TieBreak,
+    /// How an owner-side conflict is resolved: follow the policy, force a
+    /// NACK, or force requester-wins. Choice 0 = follow the policy.
+    ConflictAction,
+    /// How soon the next validation probe fires: on schedule, delayed, or
+    /// immediately. Choice 0 = the configured interval.
+    ValidationPacing,
+    /// Whether a commit-ready transaction retires now or defers, letting
+    /// later chain links race it. Choice 0 = commit now.
+    CommitRelease,
+}
+
+impl DecisionKind {
+    /// Every kind, in a stable serialisation order.
+    pub const ALL: [DecisionKind; 4] = [
+        DecisionKind::TieBreak,
+        DecisionKind::ConflictAction,
+        DecisionKind::ValidationPacing,
+        DecisionKind::CommitRelease,
+    ];
+
+    /// Stable machine-readable name (used in reproducer JSON).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionKind::TieBreak => "tie_break",
+            DecisionKind::ConflictAction => "conflict_action",
+            DecisionKind::ValidationPacing => "validation_pacing",
+            DecisionKind::CommitRelease => "commit_release",
+        }
+    }
+
+    /// Inverse of [`DecisionKind::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<DecisionKind> {
+        DecisionKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for DecisionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One decision point as presented to a schedule hook, before it is
+/// resolved: where in the stream it sits, what category it is, and which
+/// core it concerns (if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionPoint {
+    /// Position in the run's decision stream (0-based, dense).
+    pub index: u64,
+    /// The decision category.
+    pub kind: DecisionKind,
+    /// The core the decision concerns, when one is identifiable.
+    /// `None` for global decisions such as event tie-breaks.
+    pub core: Option<usize>,
+}
+
+/// One resolved decision, as recorded in a schedule trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// The decision category.
+    pub kind: DecisionKind,
+    /// How many legal choices existed (`chosen < choices`).
+    pub choices: u32,
+    /// The choice taken; 0 is always the default behaviour.
+    pub chosen: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in DecisionKind::ALL {
+            assert_eq!(DecisionKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(DecisionKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let mut names: Vec<_> = DecisionKind::ALL.iter().map(|k| k.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DecisionKind::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(DecisionKind::TieBreak.to_string(), "tie_break");
+    }
+}

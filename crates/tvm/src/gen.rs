@@ -1,0 +1,371 @@
+//! Attack-kernel program generators for schedule exploration and
+//! differential testing.
+//!
+//! Every generator returns a [`Kernel`]: a program plus the word addresses
+//! of its committed counters and the number of increments one thread
+//! contributes to them. All kernels are *counted-increment* workloads, so a
+//! machine-independent invariant holds regardless of policy, seed or
+//! interleaving:
+//!
+//! ```text
+//! sum over kernel.counters of final word value == threads * kernel.per_thread
+//! ```
+//!
+//! (Each increment is a transactional read-modify-write; serializability
+//! means none may be lost or duplicated.) The kernels differ in which HTM
+//! mechanism they lean on — chained forwarding, VSB capacity, L1 capacity,
+//! late validation — so an exploration harness can aim schedules at
+//! specific protocol corners.
+
+use crate::builder::ProgramBuilder;
+use crate::inst::{Program, Reg};
+
+/// Words per cache line; mirrors `chats_mem::WORDS_PER_LINE` without
+/// creating a dependency cycle (the constant is architectural and fixed).
+const WORDS_PER_LINE: u64 = 8;
+
+/// A generated workload kernel with its committed-sum invariant.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The program every thread runs.
+    pub program: Program,
+    /// Word addresses of the shared counters the kernel increments.
+    pub counters: Vec<u64>,
+    /// Total increments ONE thread commits across all `counters`; the
+    /// expected final sum is `threads * per_thread`.
+    pub per_thread: u64,
+}
+
+/// Word address of the first word of line `l`.
+fn line_word(l: u64) -> u64 {
+    l * WORDS_PER_LINE
+}
+
+/// Emits `mem[addr_reg] += 1` (transactional read-modify-write).
+fn emit_incr(b: &mut ProgramBuilder, addr: Reg, v: Reg) {
+    b.load(v, addr);
+    b.addi(v, v, 1);
+    b.store(addr, v);
+}
+
+/// Randomized contention: each thread runs `iters` transactions, each
+/// incrementing `per_tx` random counters from a pool of `pool` lines.
+///
+/// The classic serializability torture kernel (identical to the one used
+/// by the machine's property tests). Invariant: the pool's counters sum to
+/// `threads * iters * per_tx`.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+#[must_use]
+pub fn torture(iters: u64, per_tx: u64, pool: u64) -> Kernel {
+    assert!(
+        iters > 0 && per_tx > 0 && pool > 0,
+        "degenerate torture kernel"
+    );
+    let (i, n, j, k, addr, v, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let mut b = ProgramBuilder::new();
+    b.imm(i, 0).imm(n, iters);
+    let outer = b.label();
+    b.bind(outer);
+    b.tx_begin();
+    b.imm(j, 0);
+    let inner = b.label();
+    b.bind(inner);
+    b.imm(bound, pool);
+    b.rand(k, bound);
+    b.shli(addr, k, 3);
+    emit_incr(&mut b, addr, v);
+    b.addi(j, j, 1);
+    b.imm(k, per_tx);
+    b.blt(j, k, inner);
+    b.tx_end();
+    b.pause(30);
+    b.addi(i, i, 1);
+    b.blt(i, n, outer);
+    b.halt();
+    Kernel {
+        program: b.build(),
+        counters: (0..pool).map(line_word).collect(),
+        per_thread: iters * per_tx,
+    }
+}
+
+/// Chained forwarding ladder: every transaction increments the *same*
+/// `depth` counters in fixed ascending line order.
+///
+/// With all threads climbing the ladder in the same order, a writer of
+/// line `k` is typically still speculative when the next thread reads it,
+/// so CHATS builds producer→consumer chains of length up to `threads`.
+/// Invariant: each of the `depth` counters ends at `threads * iters`.
+///
+/// # Panics
+///
+/// Panics if `iters` or `depth` is zero.
+#[must_use]
+pub fn chain_ladder(iters: u64, depth: u64) -> Kernel {
+    assert!(iters > 0 && depth > 0, "degenerate chain_ladder kernel");
+    let (i, n, addr, v, end) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    let mut b = ProgramBuilder::new();
+    b.imm(i, 0).imm(n, iters);
+    let outer = b.label();
+    b.bind(outer);
+    b.tx_begin();
+    b.imm(addr, 0);
+    b.imm(end, line_word(depth));
+    let rung = b.label();
+    b.bind(rung);
+    emit_incr(&mut b, addr, v);
+    b.addi(addr, addr, WORDS_PER_LINE);
+    b.blt(addr, end, rung);
+    b.tx_end();
+    b.pause(20);
+    b.addi(i, i, 1);
+    b.blt(i, n, outer);
+    b.halt();
+    Kernel {
+        program: b.build(),
+        counters: (0..depth).map(line_word).collect(),
+        per_thread: iters * depth,
+    }
+}
+
+/// VSB saturator: every transaction read-modify-writes `lines` distinct
+/// contended lines.
+///
+/// Each speculatively forwarded line a consumer touches occupies one
+/// Validation State Buffer entry until validated; with `lines` above the
+/// VSB capacity (4 in the paper configuration) the buffer must fill and
+/// the consumer stall or abort. Invariant: the `lines` counters sum to
+/// `threads * iters * lines`.
+///
+/// # Panics
+///
+/// Panics if `iters` or `lines` is zero.
+#[must_use]
+pub fn vsb_filler(iters: u64, lines: u64) -> Kernel {
+    let k = chain_ladder(iters, lines);
+    Kernel {
+        program: k.program,
+        counters: k.counters,
+        per_thread: k.per_thread,
+    }
+}
+
+/// Observer mix: every transaction increments ONE random counter from a
+/// pool of `pool` lines, then loads every counter in the pool *read-only*.
+///
+/// The read-only observations are what give the atomicity oracle teeth:
+/// in pure read-modify-write kernels every read is of a word the
+/// transaction itself rewrites, which the commit-time check rightly
+/// exempts. Here a consumer that commits having observed a forwarded
+/// value its producer later aborted is flagged directly
+/// (`AtomicityAtCommit`), not just via the final counter sum.
+/// Invariant: the pool's counters sum to `threads * iters`.
+///
+/// # Panics
+///
+/// Panics if `iters` or `pool` is zero.
+#[must_use]
+pub fn observer(iters: u64, pool: u64) -> Kernel {
+    assert!(iters > 0 && pool > 0, "degenerate observer kernel");
+    let (i, n, k, addr, v, bound, end) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let mut b = ProgramBuilder::new();
+    b.imm(i, 0).imm(n, iters);
+    let outer = b.label();
+    b.bind(outer);
+    b.tx_begin();
+    b.imm(bound, pool);
+    b.rand(k, bound);
+    b.shli(addr, k, 3);
+    emit_incr(&mut b, addr, v);
+    b.imm(addr, 0);
+    b.imm(end, line_word(pool));
+    let scan = b.label();
+    b.bind(scan);
+    b.load(v, addr);
+    b.addi(addr, addr, WORDS_PER_LINE);
+    b.blt(addr, end, scan);
+    b.tx_end();
+    b.pause(30);
+    b.addi(i, i, 1);
+    b.blt(i, n, outer);
+    b.halt();
+    Kernel {
+        program: b.build(),
+        counters: (0..pool).map(line_word).collect(),
+        per_thread: iters,
+    }
+}
+
+/// L1 set-capacity prober: increment one contended counter, then sweep
+/// `span` same-set filler lines so the speculatively received line is
+/// evicted before it can be validated.
+///
+/// Filler lines are `sets, 2*sets, …, span*sets` — they share cache set 0
+/// with the counter line in a `sets`-set L1, so a `span` at or above the
+/// associativity forces mid-transaction eviction of line 0. Filler lines
+/// are only read (they stay zero). Invariant: the single counter at word 0
+/// ends at `threads * iters`.
+///
+/// # Panics
+///
+/// Panics if `iters`, `sets` or `span` is zero.
+#[must_use]
+pub fn capacity_prober(iters: u64, sets: u64, span: u64) -> Kernel {
+    assert!(
+        iters > 0 && sets > 0 && span > 0,
+        "degenerate capacity_prober kernel"
+    );
+    let (i, n, addr, v, j, k) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+    let mut b = ProgramBuilder::new();
+    b.imm(i, 0).imm(n, iters);
+    let outer = b.label();
+    b.bind(outer);
+    b.tx_begin();
+    b.imm(addr, 0);
+    emit_incr(&mut b, addr, v);
+    b.imm(j, 1);
+    b.imm(k, span + 1);
+    let sweep = b.label();
+    b.bind(sweep);
+    b.imm(addr, line_word(sets));
+    b.mul(addr, addr, j);
+    b.load(v, addr);
+    b.addi(j, j, 1);
+    b.blt(j, k, sweep);
+    b.tx_end();
+    b.pause(20);
+    b.addi(i, i, 1);
+    b.blt(i, n, outer);
+    b.halt();
+    Kernel {
+        program: b.build(),
+        counters: vec![0],
+        per_thread: iters,
+    }
+}
+
+/// Late-commit window: increment one contended counter, then spin `spin`
+/// cycles *inside* the transaction before committing.
+///
+/// The long pre-commit window means consumers of the forwarded counter
+/// line sit on unvalidated speculative data for a long time, stressing
+/// validation pacing and commit-order decisions. Invariant: the counter at
+/// word 0 ends at `threads * iters`.
+///
+/// # Panics
+///
+/// Panics if `iters` or `spin` is zero.
+#[must_use]
+pub fn late_commit(iters: u64, spin: u64) -> Kernel {
+    assert!(iters > 0 && spin > 0, "degenerate late_commit kernel");
+    let (i, n, addr, v) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let mut b = ProgramBuilder::new();
+    b.imm(i, 0).imm(n, iters);
+    b.imm(addr, 0);
+    let outer = b.label();
+    b.bind(outer);
+    b.tx_begin();
+    emit_incr(&mut b, addr, v);
+    b.pause(spin);
+    b.tx_end();
+    b.pause(10);
+    b.addi(i, i, 1);
+    b.blt(i, n, outer);
+    b.halt();
+    Kernel {
+        program: b.build(),
+        counters: vec![0],
+        per_thread: iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Vm, VmEvent};
+    use std::collections::HashMap;
+
+    /// Runs a kernel single-threaded on a flat memory (no HTM, no timing)
+    /// and returns the final memory image.
+    fn interpret(k: &Kernel, seed: u64) -> HashMap<u64, u64> {
+        let mut mem = HashMap::new();
+        let mut vm = Vm::new(k.program.clone(), seed);
+        for _ in 0..1_000_000u64 {
+            match vm.step() {
+                VmEvent::Compute(_) | VmEvent::TxBegin | VmEvent::TxEnd => {}
+                VmEvent::Load(a) => vm.complete_load(*mem.get(&a.0).unwrap_or(&0)),
+                VmEvent::Store(a, v) => {
+                    mem.insert(a.0, v);
+                    vm.complete_store();
+                }
+                VmEvent::Halted => return mem,
+            }
+        }
+        panic!("kernel did not halt");
+    }
+
+    fn check_invariant(k: &Kernel, seed: u64) {
+        let mem = interpret(k, seed);
+        let sum: u64 = k.counters.iter().map(|a| mem.get(a).unwrap_or(&0)).sum();
+        assert_eq!(sum, k.per_thread, "single-thread sum invariant");
+    }
+
+    #[test]
+    fn torture_invariant_holds_single_threaded() {
+        check_invariant(&torture(7, 3, 4), 11);
+        check_invariant(&torture(1, 1, 1), 0);
+    }
+
+    #[test]
+    fn chain_ladder_touches_every_rung() {
+        let k = chain_ladder(5, 3);
+        let mem = interpret(&k, 1);
+        for l in 0..3u64 {
+            assert_eq!(mem.get(&(l * 8)), Some(&5));
+        }
+        check_invariant(&k, 1);
+    }
+
+    #[test]
+    fn vsb_filler_matches_ladder_shape() {
+        let k = vsb_filler(2, 6);
+        assert_eq!(k.counters.len(), 6);
+        assert_eq!(k.per_thread, 12);
+        check_invariant(&k, 3);
+    }
+
+    #[test]
+    fn capacity_prober_fillers_stay_zero() {
+        let k = capacity_prober(4, 8, 3);
+        let mem = interpret(&k, 2);
+        assert_eq!(mem.get(&0), Some(&4));
+        // filler lines 8, 16, 24 are read-only
+        for l in [8u64, 16, 24] {
+            assert!(!mem.contains_key(&(l * 8)));
+        }
+        check_invariant(&k, 2);
+    }
+
+    #[test]
+    fn observer_increments_once_per_tx() {
+        let k = observer(6, 3);
+        assert_eq!(k.per_thread, 6);
+        assert_eq!(k.counters, vec![0, 8, 16]);
+        check_invariant(&k, 5);
+    }
+
+    #[test]
+    fn late_commit_counts() {
+        check_invariant(&late_commit(9, 50), 4);
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a = torture(5, 2, 4);
+        let b = torture(5, 2, 4);
+        assert_eq!(interpret(&a, 42), interpret(&b, 42));
+    }
+}

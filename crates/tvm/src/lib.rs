@@ -41,9 +41,11 @@
 
 pub mod builder;
 pub mod disasm;
+pub mod gen;
 pub mod inst;
 pub mod vm;
 
 pub use builder::{Label, ProgramBuilder};
+pub use gen::Kernel;
 pub use inst::{Inst, Program, Reg};
 pub use vm::{Vm, VmEvent, VmSnapshot};

@@ -27,10 +27,18 @@ pub enum VmEvent {
 
 /// Resumable snapshot of the architectural state, captured at `TxBegin` so
 /// aborts can re-execute the transaction body.
+///
+/// The RNG stream is part of the snapshot: a retried transaction must draw
+/// the same `Rand` values as its aborted attempt, exactly as re-executing
+/// the same code path would on real hardware. This also makes each thread's
+/// committed effects a pure function of (program, seed), independent of how
+/// many aborts the contention manager inflicted — the property the
+/// cross-policy differential tests rely on.
 #[derive(Debug, Clone)]
 pub struct VmSnapshot {
     pc: usize,
     regs: [u64; NUM_REGS],
+    rng: SimRng,
 }
 
 impl VmSnapshot {
@@ -113,6 +121,7 @@ impl Vm {
         VmSnapshot {
             pc: self.pc,
             regs: self.regs,
+            rng: self.rng.clone(),
         }
     }
 
@@ -122,6 +131,7 @@ impl Vm {
     pub fn restore(&mut self, snap: &VmSnapshot) {
         self.pc = snap.pc;
         self.regs = snap.regs;
+        self.rng = snap.rng.clone();
         self.pending = None;
         self.halted = false;
     }
@@ -347,6 +357,25 @@ mod tests {
         assert_eq!(vm.step(), VmEvent::Load(Addr(0)), "load re-issues");
         vm.complete_load(9);
         assert_eq!(vm.reg(Reg(1)), 9);
+    }
+
+    #[test]
+    fn restore_replays_rand_stream() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(1), 1_000_000);
+        b.tx_begin();
+        b.rand(Reg(0), Reg(1));
+        b.tx_end();
+        b.halt();
+        let mut vm = Vm::new(b.build(), 77);
+        assert_eq!(vm.step(), VmEvent::Compute(1));
+        assert_eq!(vm.step(), VmEvent::TxBegin);
+        let snap = vm.snapshot();
+        assert_eq!(vm.step(), VmEvent::Compute(1)); // rand
+        let first = vm.reg(Reg(0));
+        vm.restore(&snap); // abort: the retry must draw the same value
+        assert_eq!(vm.step(), VmEvent::Compute(1));
+        assert_eq!(vm.reg(Reg(0)), first, "retried Rand must replay");
     }
 
     #[test]

@@ -13,12 +13,21 @@
 //!
 //! * **No shrinking.** A failing case panics with the sampled inputs
 //!   in the panic message instead of a minimized counterexample.
-//! * **Deterministic seeding.** Each test's RNG is seeded from the
-//!   test's name (override with `PROPTEST_SEED`), so failures
-//!   reproduce across runs and machines. `PROPTEST_CASES` caps the
-//!   case count for quick CI runs.
+//! * **Deterministic seeding.** Each *case* gets its own RNG derived
+//!   from the test's name and the case index, so one failing case is
+//!   fully identified by a single 64-bit seed. `PROPTEST_SEED=<seed>`
+//!   replays exactly that case; `PROPTEST_CASES` caps the case count
+//!   for quick CI runs.
+//! * **Seed persistence instead of input persistence.** Real proptest
+//!   persists failing *inputs* to `proptest-regressions/<file>.txt`;
+//!   the shim persists failing case *seeds* to the same path (`cc
+//!   0x<seed>` lines). Persisted seeds are replayed before the random
+//!   cases on every run, and a newly failing seed is best-effort
+//!   appended so the counterexample sticks. See DESIGN.md
+//!   "Regression persistence".
 
 use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
 
 /// Everything the test suites import.
 pub mod prelude {
@@ -75,16 +84,7 @@ impl TestRng {
     /// `PROPTEST_SEED` when set (for replaying a failure).
     #[must_use]
     pub fn for_test(name: &str) -> TestRng {
-        let seed = match std::env::var("PROPTEST_SEED")
-            .ok()
-            .and_then(|v| v.parse().ok())
-        {
-            Some(s) => s,
-            None => name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-            }),
-        };
-        TestRng::from_seed(seed)
+        TestRng::from_seed(seed_override().unwrap_or_else(|| seed_for_test(name)))
     }
 
     /// A generator from an explicit 64-bit seed.
@@ -396,6 +396,102 @@ pub mod collection {
     }
 }
 
+/// The base seed for a property: an FNV-1a hash of its full name, so
+/// failures reproduce across runs and machines.
+#[must_use]
+pub fn seed_for_test(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// The seed of case `case` within a property's deterministic stream.
+/// One failing case is fully identified by this value.
+#[must_use]
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    base ^ u64::from(case + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The `PROPTEST_SEED` override, if set: a single case seed (decimal or
+/// `0x`-prefixed hex) to replay instead of the random cases.
+#[must_use]
+pub fn seed_override() -> Option<u64> {
+    let v = std::env::var("PROPTEST_SEED").ok()?;
+    parse_seed(v.trim())
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => text.parse().ok(),
+    }
+}
+
+/// Where a property persists failing seeds:
+/// `<manifest_dir>/proptest-regressions/<file>.txt`, where `<file>` is
+/// the root of the test's module path (for an integration test, the
+/// test file's stem — the same path real proptest would use).
+#[must_use]
+pub fn regression_file(manifest_dir: &str, test_full_name: &str) -> PathBuf {
+    let stem = test_full_name.split("::").next().unwrap_or(test_full_name);
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Loads the persisted failing seeds from a regression file. Missing
+/// files are an empty list; unparseable lines are skipped (`#` starts a
+/// comment, entries are `cc <seed>`).
+#[must_use]
+pub fn load_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some(entry) = line.strip_prefix("cc ") {
+            if let Some(seed) = parse_seed(entry.trim()) {
+                if !seeds.contains(&seed) {
+                    seeds.push(seed);
+                }
+            }
+        }
+    }
+    seeds
+}
+
+/// Reports a failing case on stderr and best-effort persists its seed
+/// (skipped when the seed came from the regression file or
+/// `PROPTEST_SEED` — it is already pinned). Never panics: persistence
+/// must not mask the property's own failure.
+pub fn report_failure(path: &Path, test_full_name: &str, seed: u64, already_persisted: bool) {
+    eprintln!(
+        "proptest (vendored shim): {test_full_name} failed with case seed {seed:#018x}; \
+         replay with PROPTEST_SEED={seed:#x}"
+    );
+    if already_persisted || load_regression_seeds(path).contains(&seed) {
+        return;
+    }
+    let entry = format!("cc {seed:#018x} # seed for {test_full_name}, added automatically\n");
+    let appended =
+        std::fs::create_dir_all(path.parent().unwrap_or(Path::new("."))).and_then(|()| {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            f.write_all(entry.as_bytes())
+        });
+    match appended {
+        Ok(()) => eprintln!("proptest (vendored shim): persisted to {}", path.display()),
+        Err(e) => eprintln!(
+            "proptest (vendored shim): could not persist to {}: {e}",
+            path.display()
+        ),
+    }
+}
+
 /// Defines deterministic randomized property tests.
 ///
 /// Supports the subset of real-proptest syntax the workspace uses: an
@@ -415,10 +511,34 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let cfg: $crate::ProptestConfig = $cfg;
-            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
-            for _case in 0..cfg.effective_cases() {
-                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
-                $body
+            let full = concat!(module_path!(), "::", stringify!($name));
+            let repro = $crate::regression_file(env!("CARGO_MANIFEST_DIR"), full);
+            // Persisted counterexamples replay first; then either the
+            // single PROPTEST_SEED case or the deterministic random
+            // stream. `true` marks seeds that are already pinned.
+            let mut seeds: ::std::vec::Vec<(u64, bool)> = $crate::load_regression_seeds(&repro)
+                .into_iter()
+                .map(|s| (s, true))
+                .collect();
+            match $crate::seed_override() {
+                Some(s) => seeds.push((s, true)),
+                None => {
+                    let base = $crate::seed_for_test(full);
+                    seeds.extend(
+                        (0..cfg.effective_cases()).map(|c| ($crate::case_seed(base, c), false)),
+                    );
+                }
+            }
+            for (seed, pinned) in seeds {
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let mut rng = $crate::TestRng::from_seed(seed);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }));
+                if let ::std::result::Result::Err(payload) = outcome {
+                    $crate::report_failure(&repro, full, seed, pinned);
+                    ::std::panic::resume_unwind(payload);
+                }
             }
         }
         $crate::proptest!(@funcs $cfg; $($rest)*);
@@ -523,5 +643,61 @@ mod tests {
             prop_assert!(x < 10);
             let _ = flip;
         }
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let base = seed_for_test("crate::some_property");
+        assert_eq!(base, seed_for_test("crate::some_property"));
+        let seeds: Vec<u64> = (0..100).map(|c| case_seed(base, c)).collect();
+        let unique: std::collections::HashSet<&u64> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn regression_file_follows_real_proptest_naming() {
+        let p = regression_file("/repo/crates/machine", "prop_torture::case_sums");
+        assert_eq!(
+            p,
+            Path::new("/repo/crates/machine/proptest-regressions/prop_torture.txt")
+        );
+    }
+
+    #[test]
+    fn regression_seeds_round_trip() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = regression_file(dir.to_str().unwrap(), "prop_x::prop");
+
+        // Missing file: no seeds.
+        assert_eq!(load_regression_seeds(&path), Vec::<u64>::new());
+
+        // Persist two seeds; comments, duplicates and junk are ignored.
+        report_failure(&path, "prop_x::prop", 0xDEAD_BEEF, false);
+        report_failure(&path, "prop_x::prop", 7, false);
+        report_failure(&path, "prop_x::prop", 7, false); // dedup
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                use std::io::Write as _;
+                f.write_all(b"# a comment\nnot an entry\ncc bogus\n")
+            })
+            .unwrap();
+        assert_eq!(load_regression_seeds(&path), vec![0xDEAD_BEEF, 7]);
+
+        // Pinned seeds (from the file or PROPTEST_SEED) are not re-appended.
+        report_failure(&path, "prop_x::prop", 99, true);
+        assert_eq!(load_regression_seeds(&path), vec![0xDEAD_BEEF, 7]);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("zzz"), None);
     }
 }
