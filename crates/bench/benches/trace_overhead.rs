@@ -1,0 +1,76 @@
+//! Observability-engineering bench: what tracing costs the simulator.
+//!
+//! The null path (tracing off) must stay free — emission sites guard on
+//! `trace.enabled()` and build no events — while the ring and vec sinks
+//! bound the cost of full-fidelity capture.
+
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_machine::{Machine, RingSink, Tuning};
+use chats_obs::VecSink;
+use chats_sim::SystemConfig;
+use chats_tvm::{Program, ProgramBuilder, Reg, Vm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn contended_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let (i, n, addr, v, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    b.imm(i, 0).imm(n, 50);
+    let top = b.label();
+    b.bind(top);
+    b.tx_begin();
+    b.imm(bound, 8);
+    b.rand(addr, bound);
+    b.shli(addr, addr, 3);
+    b.load(v, addr);
+    b.addi(v, v, 1);
+    b.store(addr, v);
+    b.tx_end();
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    b.build()
+}
+
+fn machine(prog: &Program) -> Machine {
+    let mut m = Machine::new(
+        SystemConfig::small_test(),
+        PolicyConfig::for_system(HtmSystem::Chats),
+        Tuning::default(),
+        3,
+    );
+    for t in 0..4 {
+        m.load_thread(t, Vm::new(prog.clone(), t as u64));
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let prog = contended_program();
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(20);
+    g.bench_function("sink/off", |b| {
+        b.iter(|| {
+            let mut m = machine(&prog);
+            black_box(m.run(50_000_000).expect("completes").cycles)
+        })
+    });
+    g.bench_function("sink/ring1k", |b| {
+        b.iter(|| {
+            let mut m = machine(&prog);
+            m.set_trace_sink(Box::new(RingSink::new(1024)));
+            black_box(m.run(50_000_000).expect("completes").cycles)
+        })
+    });
+    g.bench_function("sink/vec", |b| {
+        b.iter(|| {
+            let mut m = machine(&prog);
+            m.set_trace_sink(Box::new(VecSink::new()));
+            black_box(m.run(50_000_000).expect("completes").cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -200,6 +200,10 @@ impl Machine {
             ExecMode::Fallback => {
                 self.lock.release(core);
                 self.cores[core].mode = ExecMode::Plain;
+                self.trace.record(TraceEvent::FallbackRelease {
+                    at: self.clock,
+                    core,
+                });
                 self.wake_lock_waiters();
                 true
             }
@@ -210,6 +214,10 @@ impl Machine {
                     self.try_commit(core)
                 } else {
                     self.cores[core].commit_pending = true;
+                    self.trace.record(TraceEvent::ValStallBegin {
+                        at: self.clock,
+                        core,
+                    });
                     self.kick_validation(core);
                     false
                 }
@@ -231,8 +239,17 @@ impl Machine {
             let at = self.clock + self.tuning.commit_validation_gap.max(1);
             let c = &mut self.cores[core];
             c.commit_defers += 1;
+            let was_pending = c.commit_pending;
             c.commit_pending = true;
             let epoch = c.epoch;
+            if !was_pending {
+                // A hook-deferred commit stalls the attempt exactly like a
+                // draining VSB; account it in the same bucket.
+                self.trace.record(TraceEvent::ValStallBegin {
+                    at: self.clock,
+                    core,
+                });
+            }
             self.events.push(at, Event::CommitRelease { core, epoch });
             return false;
         }
@@ -249,6 +266,12 @@ impl Machine {
     /// at the commit instant — a serializability bug in the protocol,
     /// never a workload condition.
     pub(crate) fn do_commit(&mut self, core: usize) {
+        if self.cores[core].commit_pending {
+            self.trace.record(TraceEvent::ValStallEnd {
+                at: self.clock,
+                core,
+            });
+        }
         self.cores[core].l1.commit_speculative();
         if self.cores[core].oracle.is_enabled() {
             // Snapshot the committed values of every read word, then let
@@ -319,6 +342,24 @@ impl Machine {
     pub(crate) fn do_abort(&mut self, core: usize, cause: AbortCause) {
         debug_assert!(self.cores[core].in_tx(), "abort outside a transaction");
         self.stats.record_abort(cause);
+        if self.cores[core].commit_pending {
+            self.trace.record(TraceEvent::ValStallEnd {
+                at: self.clock,
+                core,
+            });
+        }
+        if self.trace.enabled() {
+            // The VSB is discarded wholesale below; trace each entry so the
+            // reconstructor sees every unvalidated speculation die.
+            let evicted: Vec<LineAddr> = self.cores[core].vsb.iter().map(|e| e.addr).collect();
+            for line in evicted {
+                self.trace.record(TraceEvent::VsbEvict {
+                    at: self.clock,
+                    core,
+                    line,
+                });
+            }
+        }
         self.trace.record(TraceEvent::Abort {
             at: self.clock,
             core,

@@ -64,4 +64,4 @@ mod validate;
 
 pub use core_state::ExecMode;
 pub use machine::{DecisionHook, Machine, SimError, Tuning, Violation};
-pub use trace::TraceEvent;
+pub use trace::{NullSink, RingSink, TraceEvent, TraceSink};

@@ -3,7 +3,7 @@
 use crate::core_state::CoreState;
 use crate::dir::Directory;
 use crate::msg::{CoreMsg, DirMsg, Event, Request};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{RingSink, Trace, TraceEvent, TraceSink};
 use chats_core::retry::FallbackLock;
 use chats_core::{PolicyConfig, PowerToken, TimestampSource};
 use chats_mem::{Addr, CoherenceState, WORDS_PER_LINE};
@@ -443,16 +443,57 @@ impl Machine {
         &self.stats
     }
 
-    /// Enables protocol tracing; at most `limit` events are kept.
-    /// Call before [`Machine::run`]. See [`TraceEvent`].
+    /// Enables protocol tracing into the built-in bounded ring: the
+    /// **latest** `limit` events are kept and older ones are counted by
+    /// [`Machine::dropped_events`]. Call before [`Machine::run`]. For
+    /// unbounded capture, install a streaming sink with
+    /// [`Machine::set_trace_sink`] instead. See [`TraceEvent`].
     pub fn enable_trace(&mut self, limit: usize) {
-        self.trace.enable(limit);
+        self.trace = Trace::Ring(RingSink::new(limit));
     }
 
-    /// The recorded protocol trace (empty unless tracing was enabled).
+    /// Routes all trace events into `sink` (replacing any previous sink).
+    /// Call before [`Machine::run`]; retrieve the sink afterwards with
+    /// [`Machine::take_trace_sink`]. A boxed [`RingSink`] is folded into
+    /// the built-in ring, so [`Machine::trace_events`] and
+    /// [`Machine::dropped_events`] read it directly.
+    pub fn set_trace_sink(&mut self, mut sink: Box<dyn TraceSink>) {
+        if let Some(ring) = sink.as_any_mut().and_then(|a| a.downcast_mut::<RingSink>()) {
+            self.trace = Trace::Ring(std::mem::replace(ring, RingSink::new(1)));
+            return;
+        }
+        self.trace = Trace::Custom(sink);
+    }
+
+    /// Detaches and returns the sink installed by
+    /// [`Machine::set_trace_sink`], flushing it first. Returns `None` when
+    /// tracing is off or using the built-in ring.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        match std::mem::take(&mut self.trace) {
+            Trace::Custom(mut s) => {
+                s.flush();
+                Some(s)
+            }
+            other => {
+                self.trace = other;
+                None
+            }
+        }
+    }
+
+    /// The recorded protocol trace, oldest first (empty unless
+    /// [`Machine::enable_trace`] was used; custom sinks own their events).
     #[must_use]
-    pub fn trace_events(&self) -> &[TraceEvent] {
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.trace.events()
+    }
+
+    /// Events the active sink had to discard (ring overflow, sink
+    /// back-pressure). Nonzero means [`Machine::trace_events`] is a
+    /// truncated view.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.trace.dropped()
     }
 
     /// `true` when `line` is under watch (guard before formatting).
@@ -655,6 +696,15 @@ impl Machine {
         let arrive = self
             .xbar
             .send(at, NodeId(from_core), self.dir_node(), class);
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::NocSend {
+                at,
+                src: from_core,
+                dst: self.dir_node().0,
+                flits: self.xbar.flits_of(class),
+                arrive,
+            });
+        }
         self.events.push(arrive, Event::DirRecv(msg));
     }
 
@@ -669,6 +719,15 @@ impl Machine {
     ) {
         let at = self.clock + delay;
         let arrive = self.xbar.send(at, self.dir_node(), NodeId(core), class);
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::NocSend {
+                at,
+                src: self.dir_node().0,
+                dst: core,
+                flits: self.xbar.flits_of(class),
+                arrive,
+            });
+        }
         self.events.push(arrive, Event::CoreRecv { core, msg });
     }
 
@@ -684,6 +743,15 @@ impl Machine {
     ) {
         let at = self.clock + delay;
         let arrive = self.xbar.send(at, NodeId(from), NodeId(to), class);
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::NocSend {
+                at,
+                src: from,
+                dst: to,
+                flits: self.xbar.flits_of(class),
+                arrive,
+            });
+        }
         self.events.push(arrive, Event::CoreRecv { core: to, msg });
     }
 

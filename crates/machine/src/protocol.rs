@@ -616,7 +616,14 @@ impl Machine {
             _ => return,
         }
         // Room in the VSB? If not, treat like a stall and retry the access.
-        if !self.cores[core].vsb.insert(line, data) && !self.cores[core].vsb.contains(line) {
+        if self.cores[core].vsb.insert(line, data) {
+            self.trace.record(crate::trace::TraceEvent::VsbInsert {
+                at: self.clock,
+                core,
+                line,
+                occupancy: self.cores[core].vsb.len(),
+            });
+        } else if !self.cores[core].vsb.contains(line) {
             self.stats.nacks += 1;
             let d = self.tuning.stall_delay;
             let epoch = self.cores[core].epoch;

@@ -1,12 +1,21 @@
-//! Optional event tracing.
+//! Protocol event tracing: the event taxonomy and pluggable sinks.
 //!
-//! When enabled (see [`crate::Machine::enable_trace`]), the machine records
-//! one [`TraceEvent`] per interesting protocol action: transaction
-//! lifecycle, forwardings, validations and fallback episodes. Traces make
-//! chain formation visible — which transaction produced for which, with
-//! which PiCs — and power the `chain_anatomy` example.
+//! The machine emits one [`TraceEvent`] per interesting protocol action —
+//! transaction lifecycle, forwardings, validations, fallback episodes,
+//! interconnect injections, validation stalls and VSB movements. Where the
+//! events go is decided by the installed [`TraceSink`]:
 //!
-//! Tracing is off by default and costs nothing when disabled.
+//! * [`RingSink`] — a bounded in-memory ring that keeps the **latest**
+//!   events and counts everything it had to drop (what
+//!   [`crate::Machine::enable_trace`] installs),
+//! * `chats-obs`'s JSONL sink — streams every event to disk,
+//! * no sink at all — the default; emission sites check
+//!   [`Trace::enabled`] first, so a machine without a sink never even
+//!   constructs the events (zero allocations on the hot path).
+//!
+//! The event stream is ordered by emission: timestamps never decrease, and
+//! same-cycle events appear in protocol order. `chats-obs` reconstructs
+//! per-core transaction timelines and cycle-accounting breakdowns from it.
 
 use chats_core::{AbortCause, Pic};
 use chats_mem::LineAddr;
@@ -15,6 +24,7 @@ use std::fmt;
 
 /// One recorded protocol action.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TraceEvent {
     /// A transaction attempt began.
     TxBegin {
@@ -69,6 +79,64 @@ pub enum TraceEvent {
         /// Which core.
         core: usize,
     },
+    /// The fallback path was released (the non-speculative section ended).
+    FallbackRelease {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+    },
+    /// A message was injected into the interconnect. `arrive` is its
+    /// (pre-computed, deterministic) arrival time at `dst`; the queueing
+    /// delay beyond pure serialization + link latency is egress
+    /// contention.
+    NocSend {
+        /// Injection time.
+        at: Cycle,
+        /// Source node (cores `0..n`, then the directory).
+        src: usize,
+        /// Destination node.
+        dst: usize,
+        /// Message size in flits.
+        flits: u64,
+        /// Arrival time at `dst`.
+        arrive: Cycle,
+    },
+    /// A transaction reached `TxEnd` but cannot commit until its VSB
+    /// drains: the validation stall begins.
+    ValStallBegin {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+    },
+    /// The validation stall ended (the attempt committed or aborted).
+    ValStallEnd {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+    },
+    /// A speculatively received line entered the VSB.
+    VsbInsert {
+        /// When.
+        at: Cycle,
+        /// Consumer core.
+        core: usize,
+        /// The guarded line.
+        line: LineAddr,
+        /// Entries held after the insertion.
+        occupancy: usize,
+    },
+    /// A VSB entry was discarded unvalidated (its attempt aborted).
+    VsbEvict {
+        /// When.
+        at: Cycle,
+        /// Which core.
+        core: usize,
+        /// The discarded line.
+        line: LineAddr,
+    },
 }
 
 impl TraceEvent {
@@ -81,7 +149,33 @@ impl TraceEvent {
             | TraceEvent::Abort { at, .. }
             | TraceEvent::Forward { at, .. }
             | TraceEvent::Validated { at, .. }
-            | TraceEvent::Fallback { at, .. } => *at,
+            | TraceEvent::Fallback { at, .. }
+            | TraceEvent::FallbackRelease { at, .. }
+            | TraceEvent::NocSend { at, .. }
+            | TraceEvent::ValStallBegin { at, .. }
+            | TraceEvent::ValStallEnd { at, .. }
+            | TraceEvent::VsbInsert { at, .. }
+            | TraceEvent::VsbEvict { at, .. } => *at,
+        }
+    }
+
+    /// The core this event belongs to, if it is a per-core event (`None`
+    /// for interconnect events, whose endpoints may be the directory).
+    #[must_use]
+    pub fn core(&self) -> Option<usize> {
+        match self {
+            TraceEvent::TxBegin { core, .. }
+            | TraceEvent::Commit { core, .. }
+            | TraceEvent::Abort { core, .. }
+            | TraceEvent::Validated { core, .. }
+            | TraceEvent::Fallback { core, .. }
+            | TraceEvent::FallbackRelease { core, .. }
+            | TraceEvent::ValStallBegin { core, .. }
+            | TraceEvent::ValStallEnd { core, .. }
+            | TraceEvent::VsbInsert { core, .. }
+            | TraceEvent::VsbEvict { core, .. } => Some(*core),
+            TraceEvent::Forward { from, .. } => Some(*from),
+            TraceEvent::NocSend { .. } => None,
         }
     }
 }
@@ -111,32 +205,202 @@ impl fmt::Display for TraceEvent {
                 write!(f, "[{at:>8}] core{core} validated {line}")
             }
             TraceEvent::Fallback { at, core } => write!(f, "[{at:>8}] core{core} fallback"),
+            TraceEvent::FallbackRelease { at, core } => {
+                write!(f, "[{at:>8}] core{core} fallback-release")
+            }
+            TraceEvent::NocSend {
+                at,
+                src,
+                dst,
+                flits,
+                arrive,
+            } => write!(
+                f,
+                "[{at:>8}] n{src} -> n{dst} {flits} flit(s), arrives {arrive}"
+            ),
+            TraceEvent::ValStallBegin { at, core } => {
+                write!(f, "[{at:>8}] core{core} validation-stall begin")
+            }
+            TraceEvent::ValStallEnd { at, core } => {
+                write!(f, "[{at:>8}] core{core} validation-stall end")
+            }
+            TraceEvent::VsbInsert {
+                at,
+                core,
+                line,
+                occupancy,
+            } => write!(
+                f,
+                "[{at:>8}] core{core} vsb-insert {line} ({occupancy} held)"
+            ),
+            TraceEvent::VsbEvict { at, core, line } => {
+                write!(f, "[{at:>8}] core{core} vsb-evict {line}")
+            }
         }
     }
 }
 
-/// The trace buffer: bounded so runaway runs cannot exhaust memory.
-#[derive(Debug, Default)]
-pub(crate) struct Trace {
-    enabled: bool,
+/// Where trace events go. Implementations must be cheap: `record` sits on
+/// the protocol hot path whenever tracing is enabled.
+pub trait TraceSink {
+    /// Accepts one event. Events arrive in emission order (timestamps
+    /// never decrease).
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Events this sink has discarded (capacity, I/O errors, ...).
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// Flushes any buffered output. Called when the sink is detached.
+    fn flush(&mut self) {}
+
+    /// Downcasting hook so callers of
+    /// [`crate::Machine::take_trace_sink`] can recover their concrete
+    /// sink. Implement as `Some(self)` to opt in; the default opts out.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// A sink that discards everything (useful to measure tracing overhead
+/// without storage costs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: TraceEvent) {}
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// A bounded in-memory ring: keeps the **latest** `capacity` events and
+/// counts every event it had to overwrite, so truncation is always
+/// visible (no more silent drops).
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    /// Storage; once full, `head` is the index of the *oldest* event.
     events: Vec<TraceEvent>,
-    limit: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "a trace ring needs at least one slot");
+        RingSink {
+            capacity,
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The machine's trace dispatcher: `None` (tracing off — the default), a
+/// built-in ring, or a caller-provided sink.
+#[derive(Default)]
+pub(crate) enum Trace {
+    /// Tracing disabled; `record` is never called (emission sites guard
+    /// with [`Trace::enabled`]).
+    #[default]
+    Off,
+    /// The built-in bounded ring ([`crate::Machine::enable_trace`]).
+    Ring(RingSink),
+    /// A pluggable sink ([`crate::Machine::set_trace_sink`]).
+    Custom(Box<dyn TraceSink>),
 }
 
 impl Trace {
-    pub(crate) fn enable(&mut self, limit: usize) {
-        self.enabled = true;
-        self.limit = limit;
+    /// `true` when events should be constructed and recorded. Emission
+    /// sites check this before building events so disabled tracing costs
+    /// one branch and zero allocations.
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        !matches!(self, Trace::Off)
     }
 
     pub(crate) fn record(&mut self, ev: TraceEvent) {
-        if self.enabled && self.events.len() < self.limit {
-            self.events.push(ev);
+        match self {
+            Trace::Off => {}
+            Trace::Ring(r) => r.record(ev),
+            Trace::Custom(s) => s.record(ev),
         }
     }
 
-    pub(crate) fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Retained events, oldest first (ring only; custom sinks own their
+    /// storage and return nothing here).
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        match self {
+            Trace::Ring(r) => r.events(),
+            _ => Vec::new(),
+        }
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        match self {
+            Trace::Off => 0,
+            Trace::Ring(r) => r.dropped(),
+            Trace::Custom(s) => s.dropped(),
+        }
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trace::Off => f.write_str("Trace::Off"),
+            Trace::Ring(r) => f
+                .debug_struct("Trace::Ring")
+                .field("len", &r.events.len())
+                .field("dropped", &r.dropped)
+                .finish(),
+            Trace::Custom(_) => f.write_str("Trace::Custom"),
+        }
     }
 }
 
@@ -146,25 +410,49 @@ mod tests {
 
     #[test]
     fn disabled_trace_records_nothing() {
-        let mut t = Trace::default();
-        t.record(TraceEvent::TxBegin {
-            at: Cycle(1),
-            core: 0,
-        });
+        let t = Trace::default();
+        assert!(!t.enabled());
         assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
-    fn enabled_trace_records_up_to_limit() {
-        let mut t = Trace::default();
-        t.enable(2);
+    fn ring_keeps_latest_and_counts_drops() {
+        let mut r = RingSink::new(2);
         for i in 0..5 {
-            t.record(TraceEvent::Commit {
+            r.record(TraceEvent::Commit {
                 at: Cycle(i),
                 core: 0,
             });
         }
-        assert_eq!(t.events().len(), 2);
+        let kept = r.events();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].at(), Cycle(3));
+        assert_eq!(kept[1].at(), Cycle(4));
+        assert_eq!(r.dropped_events(), 3);
+    }
+
+    #[test]
+    fn ring_below_capacity_drops_nothing() {
+        let mut r = RingSink::new(8);
+        for i in 0..3 {
+            r.record(TraceEvent::TxBegin {
+                at: Cycle(i),
+                core: 1,
+            });
+        }
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.dropped_events(), 0);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut s = NullSink;
+        s.record(TraceEvent::TxBegin {
+            at: Cycle(0),
+            core: 0,
+        });
+        assert_eq!(s.dropped(), 0);
     }
 
     #[test]
@@ -181,5 +469,16 @@ mod tests {
         assert!(s.contains("core5"));
         assert!(s.contains("SpecResp"));
         assert_eq!(ev.at(), Cycle(120));
+        assert_eq!(ev.core(), Some(3));
+
+        let noc = TraceEvent::NocSend {
+            at: Cycle(7),
+            src: 0,
+            dst: 4,
+            flits: 5,
+            arrive: Cycle(13),
+        };
+        assert!(noc.to_string().contains("n0 -> n4"));
+        assert_eq!(noc.core(), None);
     }
 }

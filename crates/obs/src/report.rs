@@ -1,0 +1,145 @@
+//! Compact terminal report over a reconstructed timeline.
+
+use crate::timeline::{AttemptOutcome, Timeline};
+use chats_stats::{Histogram, Table};
+use std::fmt::Write as _;
+
+fn pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * part as f64 / total as f64)
+    }
+}
+
+/// Renders the per-core cycle-accounting table, chain analytics and NoC
+/// usage as plain text (the `chats-trace report` output).
+#[must_use]
+pub fn text_report(tl: &Timeline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run: {} cycles, {} cores, {} commits, {} aborts",
+        tl.total_cycles,
+        tl.cores.len(),
+        tl.commits(),
+        tl.aborts()
+    );
+    let _ = writeln!(out);
+
+    let mut t = Table::new(
+        [
+            "core",
+            "useful",
+            "wasted",
+            "val-stall",
+            "fallback",
+            "other",
+            "util",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for (core, ct) in tl.cores.iter().enumerate() {
+        let b = ct.breakdown;
+        t.row(vec![
+            core.to_string(),
+            b.useful.to_string(),
+            b.wasted.to_string(),
+            b.validation_stall.to_string(),
+            b.fallback.to_string(),
+            b.other.to_string(),
+            pct(b.useful, tl.total_cycles),
+        ]);
+    }
+    let agg = tl.aggregate();
+    t.row(vec![
+        "all".to_string(),
+        agg.useful.to_string(),
+        agg.wasted.to_string(),
+        agg.validation_stall.to_string(),
+        agg.fallback.to_string(),
+        agg.other.to_string(),
+        pct(agg.useful, agg.total()),
+    ]);
+    out.push_str(&t.to_string());
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "chains: {} forwardings", tl.chains.forwardings);
+    let pic_hist: Histogram = tl
+        .chains
+        .pic_depth_hist
+        .iter()
+        .map(|(&d, &n)| (u64::from(d), n))
+        .collect();
+    if !pic_hist.is_empty() {
+        let _ = writeln!(out, "  pic-depth histogram   {pic_hist}");
+    }
+    let len_hist: Histogram = tl
+        .chains
+        .chain_len_hist
+        .iter()
+        .map(|(&l, &n)| (l as u64, n))
+        .collect();
+    if !len_hist.is_empty() {
+        let _ = writeln!(
+            out,
+            "  chain-length histogram {len_hist} (mean {:.2}, max {})",
+            len_hist.mean().unwrap_or(0.0),
+            len_hist.max().unwrap_or(0)
+        );
+    }
+    if !tl.chains.graph.is_empty() {
+        let _ = writeln!(out, "  forwarding graph (producer -> consumer : count)");
+        for ((from, to), n) in &tl.chains.graph {
+            let _ = writeln!(out, "    core{from} -> core{to} : {n}");
+        }
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "noc: {} messages, {} flits, {} transit cycles ({} queueing)",
+        tl.noc.messages, tl.noc.flits, tl.noc.transit_cycles, tl.noc.queueing_cycles
+    );
+
+    let aborted_with_forwards = tl
+        .cores
+        .iter()
+        .flat_map(|c| &c.attempts)
+        .filter(|a| matches!(a.outcome, AttemptOutcome::Aborted(_)) && !a.forwards_in.is_empty())
+        .count();
+    if aborted_with_forwards > 0 {
+        let _ = writeln!(
+            out,
+            "note: {aborted_with_forwards} aborted attempt(s) had consumed speculative data"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chats_machine::TraceEvent;
+    use chats_sim::Cycle;
+
+    #[test]
+    fn report_contains_the_accounting_rows() {
+        let events = vec![
+            TraceEvent::TxBegin {
+                at: Cycle(0),
+                core: 0,
+            },
+            TraceEvent::Commit {
+                at: Cycle(10),
+                core: 0,
+            },
+        ];
+        let tl = Timeline::rebuild(&events, 20);
+        let r = text_report(&tl);
+        assert!(r.contains("useful"), "{r}");
+        assert!(r.contains("run: 20 cycles"), "{r}");
+        assert!(r.contains("noc: 0 messages"), "{r}");
+    }
+}

@@ -1,0 +1,678 @@
+//! Folding the flat event stream into per-core timelines with strict
+//! cycle accounting and chain analytics.
+
+use chats_core::{AbortCause, Pic};
+use chats_machine::TraceEvent;
+use chats_mem::LineAddr;
+use chats_sim::Cycle;
+use std::collections::BTreeMap;
+
+/// A closed `[begin, end]` span on one core's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First cycle of the span.
+    pub begin: Cycle,
+    /// Last cycle of the span (an instantaneous span has `end == begin`).
+    pub end: Cycle,
+}
+
+impl Interval {
+    /// Span length in cycles.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.begin.0
+    }
+
+    /// `true` for zero-length spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.begin
+    }
+}
+
+/// How a transaction attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Reached commit.
+    Committed,
+    /// Aborted with the given cause.
+    Aborted(AbortCause),
+    /// Still running when the trace ended (timeout or truncated stream);
+    /// accounted to the `other` bucket, not to useful/wasted work.
+    Unfinished,
+}
+
+/// One reconstructed transaction attempt.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The span from `TxBegin` to commit/abort.
+    pub span: Interval,
+    /// How it ended.
+    pub outcome: AttemptOutcome,
+    /// Cycles of this attempt spent stalled at `TxEnd` waiting for the
+    /// VSB to drain (or for a deferred commit release).
+    pub val_stall: u64,
+    /// `SpecResp`s this attempt *produced*, as `(when, consumer, line)`.
+    pub forwards_out: Vec<(Cycle, usize, LineAddr)>,
+    /// `SpecResp`s this attempt *consumed*, as `(when, producer, line)`.
+    pub forwards_in: Vec<(Cycle, usize, LineAddr)>,
+    /// Successful validations (lines that left the VSB cleanly).
+    pub validations: u64,
+    /// VSB entries discarded unvalidated at abort.
+    pub evictions: u64,
+    /// Highest VSB occupancy observed during the attempt.
+    pub vsb_peak: usize,
+}
+
+/// The strict per-core cycle partition: every simulated cycle of a core
+/// lands in exactly one bucket, so the five fields sum to the run's total
+/// cycle count (asserted by this crate's property tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Inside attempts that eventually committed, excluding their
+    /// validation stalls — the paper's "useful speculation".
+    pub useful: u64,
+    /// Inside attempts that eventually aborted, excluding their
+    /// validation stalls — wasted speculation, the work CHATS exists to
+    /// salvage.
+    pub wasted: u64,
+    /// Stalled at `TxEnd` with a non-empty VSB (§IV-B commit condition)
+    /// or a deferred commit release.
+    pub validation_stall: u64,
+    /// Holding the fallback path: serialized, non-speculative execution.
+    pub fallback: u64,
+    /// Everything else: non-transactional instructions, backoff, waiting
+    /// for the lock/token, and post-halt idling.
+    pub other: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all buckets — the cycles this breakdown accounts for.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.useful + self.wasted + self.validation_stall + self.fallback + self.other
+    }
+
+    /// Adds `rhs` bucket-wise (for aggregating cores).
+    pub fn accumulate(&mut self, rhs: &CycleBreakdown) {
+        self.useful += rhs.useful;
+        self.wasted += rhs.wasted;
+        self.validation_stall += rhs.validation_stall;
+        self.fallback += rhs.fallback;
+        self.other += rhs.other;
+    }
+}
+
+/// One core's reconstructed history.
+#[derive(Debug, Clone, Default)]
+pub struct CoreTimeline {
+    /// Attempts in begin order.
+    pub attempts: Vec<Attempt>,
+    /// Fallback-hold intervals (acquisition to release).
+    pub fallbacks: Vec<Interval>,
+    /// The core's cycle partition.
+    pub breakdown: CycleBreakdown,
+}
+
+/// Chain analytics extracted from `Forward` events.
+#[derive(Debug, Clone, Default)]
+pub struct ChainStats {
+    /// Forwardings per PiC *depth* — the distance of the carried PiC from
+    /// its initial middle-of-range value (0 = freshly linked pair).
+    /// Forwardings without a PiC (power producers) are excluded.
+    pub pic_depth_hist: BTreeMap<u32, u64>,
+    /// Distribution of *chain lengths*: for each maximal burst of
+    /// forwardings linked by shared endpoints, the number of transactions
+    /// involved. Two isolated transactions forwarding once form a chain
+    /// of length 2.
+    pub chain_len_hist: BTreeMap<usize, u64>,
+    /// Producer→consumer forwarding counts (the forwarding graph edges).
+    pub graph: BTreeMap<(usize, usize), u64>,
+    /// Total forwardings observed.
+    pub forwardings: u64,
+}
+
+/// Interconnect usage derived from `NocSend` events. Unlike the cycle
+/// buckets these cycles *overlap* core execution (messages fly while
+/// cores run), so they are reported as an overlay, not a partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocUsage {
+    /// Messages injected.
+    pub messages: u64,
+    /// Flits injected (the paper's Figure 7 metric).
+    pub flits: u64,
+    /// Total in-flight cycles, summed over messages (arrival − injection).
+    pub transit_cycles: u64,
+    /// The share of `transit_cycles` beyond pure serialization + link
+    /// latency: time spent queued behind other messages at the source
+    /// egress port.
+    pub queueing_cycles: u64,
+}
+
+/// The reconstructed run: per-core timelines plus run-wide analytics.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Per-core histories, indexed by core id.
+    pub cores: Vec<CoreTimeline>,
+    /// Chain analytics.
+    pub chains: ChainStats,
+    /// Interconnect usage.
+    pub noc: NocUsage,
+    /// Total simulated cycles (the horizon every core is accounted to).
+    pub total_cycles: u64,
+}
+
+/// Per-core fold state while scanning the stream.
+#[derive(Default)]
+struct CoreScan {
+    open_attempt: Option<Attempt>,
+    stall_since: Option<Cycle>,
+    fallback_since: Option<Cycle>,
+    vsb_now: usize,
+}
+
+impl Timeline {
+    /// Folds an event stream (emission order) into a timeline.
+    ///
+    /// `total_cycles` is the run length from `RunStats::cycles`; every
+    /// core's breakdown is accounted against this horizon. The stream is
+    /// expected to be complete (an unbounded sink); on a truncated ring
+    /// stream, unmatched end-events are skipped and the result is a
+    /// best-effort view.
+    #[must_use]
+    pub fn rebuild(events: &[TraceEvent], total_cycles: u64) -> Timeline {
+        let ncores = events
+            .iter()
+            .filter_map(|e| match e {
+                // NocSend endpoints include the directory node; core
+                // events bound the core count exactly.
+                TraceEvent::NocSend { .. } => None,
+                TraceEvent::Forward { from, to, .. } => Some((*from).max(*to) + 1),
+                other => other.core().map(|c| c + 1),
+            })
+            .max()
+            .unwrap_or(0);
+        let mut scans: Vec<CoreScan> = (0..ncores).map(|_| CoreScan::default()).collect();
+        let mut tl = Timeline {
+            cores: vec![CoreTimeline::default(); ncores],
+            total_cycles,
+            ..Timeline::default()
+        };
+
+        for ev in events {
+            match ev {
+                TraceEvent::TxBegin { at, core } => {
+                    let s = &mut scans[*core];
+                    // A TxBegin while an attempt is open means the stream
+                    // lost the closing event; drop the half-seen attempt.
+                    s.open_attempt = Some(Attempt {
+                        span: Interval {
+                            begin: *at,
+                            end: *at,
+                        },
+                        outcome: AttemptOutcome::Unfinished,
+                        val_stall: 0,
+                        forwards_out: Vec::new(),
+                        forwards_in: Vec::new(),
+                        validations: 0,
+                        evictions: 0,
+                        vsb_peak: 0,
+                    });
+                    s.stall_since = None;
+                    s.vsb_now = 0;
+                }
+                TraceEvent::Commit { at, core } => {
+                    Timeline::close_attempt(
+                        &mut scans[*core],
+                        &mut tl.cores[*core],
+                        *at,
+                        AttemptOutcome::Committed,
+                    );
+                }
+                TraceEvent::Abort { at, core, cause } => {
+                    Timeline::close_attempt(
+                        &mut scans[*core],
+                        &mut tl.cores[*core],
+                        *at,
+                        AttemptOutcome::Aborted(*cause),
+                    );
+                }
+                TraceEvent::Forward {
+                    at,
+                    from,
+                    to,
+                    line,
+                    pic,
+                } => {
+                    tl.chains.forwardings += 1;
+                    *tl.chains.graph.entry((*from, *to)).or_insert(0) += 1;
+                    if let Some(p) = pic {
+                        if let (Some(v), Some(init)) = (p.value(), Pic::INIT.value()) {
+                            let depth = u32::from(v.abs_diff(init));
+                            *tl.chains.pic_depth_hist.entry(depth).or_insert(0) += 1;
+                        }
+                    }
+                    if let Some(a) = scans[*from].open_attempt.as_mut() {
+                        a.forwards_out.push((*at, *to, *line));
+                    }
+                    if let Some(a) = scans[*to].open_attempt.as_mut() {
+                        a.forwards_in.push((*at, *from, *line));
+                    }
+                }
+                TraceEvent::Validated { at: _, core, .. } => {
+                    let s = &mut scans[*core];
+                    s.vsb_now = s.vsb_now.saturating_sub(1);
+                    if let Some(a) = s.open_attempt.as_mut() {
+                        a.validations += 1;
+                    }
+                }
+                TraceEvent::Fallback { at, core } => {
+                    scans[*core].fallback_since = Some(*at);
+                }
+                TraceEvent::FallbackRelease { at, core } => {
+                    let s = &mut scans[*core];
+                    if let Some(begin) = s.fallback_since.take() {
+                        tl.cores[*core].fallbacks.push(Interval { begin, end: *at });
+                    }
+                }
+                TraceEvent::NocSend {
+                    at, flits, arrive, ..
+                } => {
+                    tl.noc.messages += 1;
+                    tl.noc.flits += *flits;
+                    let transit = arrive.0 - at.0;
+                    tl.noc.transit_cycles += transit;
+                    // Uncontended cost: serialize `flits` cycles at the
+                    // egress port, then one link hop (NocConfig default).
+                    tl.noc.queueing_cycles += transit.saturating_sub(*flits + 1);
+                }
+                TraceEvent::ValStallBegin { at, core } => {
+                    scans[*core].stall_since = Some(*at);
+                }
+                TraceEvent::ValStallEnd { at, core } => {
+                    let s = &mut scans[*core];
+                    if let (Some(begin), Some(a)) = (s.stall_since.take(), s.open_attempt.as_mut())
+                    {
+                        a.val_stall += at.0 - begin.0;
+                    }
+                }
+                TraceEvent::VsbInsert {
+                    core, occupancy, ..
+                } => {
+                    let s = &mut scans[*core];
+                    s.vsb_now = *occupancy;
+                    if let Some(a) = s.open_attempt.as_mut() {
+                        a.vsb_peak = a.vsb_peak.max(*occupancy);
+                    }
+                }
+                TraceEvent::VsbEvict { core, .. } => {
+                    let s = &mut scans[*core];
+                    s.vsb_now = s.vsb_now.saturating_sub(1);
+                    if let Some(a) = s.open_attempt.as_mut() {
+                        a.evictions += 1;
+                    }
+                }
+            }
+        }
+
+        // Close whatever is still open at the horizon (timeout runs).
+        let end = Cycle(total_cycles);
+        for (core, s) in scans.iter_mut().enumerate() {
+            if let Some(begin) = s.fallback_since.take() {
+                tl.cores[core].fallbacks.push(Interval { begin, end });
+            }
+            if let Some(mut a) = s.open_attempt.take() {
+                if let Some(begin) = s.stall_since.take() {
+                    a.val_stall += end.0 - begin.0;
+                }
+                a.span.end = end;
+                a.outcome = AttemptOutcome::Unfinished;
+                tl.cores[core].attempts.push(a);
+            }
+        }
+
+        for ct in &mut tl.cores {
+            ct.breakdown = Timeline::account(ct, total_cycles);
+        }
+        tl.chains.chain_len_hist = chain_lengths(events);
+        tl
+    }
+
+    fn close_attempt(
+        scan: &mut CoreScan,
+        ct: &mut CoreTimeline,
+        at: Cycle,
+        outcome: AttemptOutcome,
+    ) {
+        // A lone Commit/Abort (truncated stream) has nothing to close.
+        let Some(mut a) = scan.open_attempt.take() else {
+            return;
+        };
+        if let Some(begin) = scan.stall_since.take() {
+            a.val_stall += at.0 - begin.0;
+        }
+        a.span.end = at;
+        a.outcome = outcome;
+        ct.attempts.push(a);
+        scan.vsb_now = 0;
+    }
+
+    /// Builds the strict partition for one core. Attempt and fallback
+    /// spans never overlap (fallback runs between attempts), so the
+    /// classified cycles are disjoint and `other` is the exact remainder.
+    fn account(ct: &CoreTimeline, total_cycles: u64) -> CycleBreakdown {
+        let mut b = CycleBreakdown::default();
+        for a in &ct.attempts {
+            let span = a.span.len();
+            let stall = a.val_stall.min(span);
+            match a.outcome {
+                AttemptOutcome::Committed => {
+                    b.useful += span - stall;
+                    b.validation_stall += stall;
+                }
+                AttemptOutcome::Aborted(_) => {
+                    b.wasted += span - stall;
+                    b.validation_stall += stall;
+                }
+                // Unfinished work is neither proven useful nor wasted;
+                // leave it in `other` (the remainder) rather than guess.
+                AttemptOutcome::Unfinished => {}
+            }
+        }
+        for f in &ct.fallbacks {
+            b.fallback += f.len();
+        }
+        let classified = b.useful + b.wasted + b.validation_stall + b.fallback;
+        b.other = total_cycles.saturating_sub(classified);
+        b
+    }
+
+    /// Bucket-wise sum over all cores; its `total()` equals
+    /// `total_cycles × cores.len()` for complete streams.
+    #[must_use]
+    pub fn aggregate(&self) -> CycleBreakdown {
+        let mut agg = CycleBreakdown::default();
+        for ct in &self.cores {
+            agg.accumulate(&ct.breakdown);
+        }
+        agg
+    }
+
+    /// Committed attempts across all cores.
+    #[must_use]
+    pub fn commits(&self) -> u64 {
+        self.cores
+            .iter()
+            .flat_map(|c| &c.attempts)
+            .filter(|a| a.outcome == AttemptOutcome::Committed)
+            .count() as u64
+    }
+
+    /// Aborted attempts across all cores.
+    #[must_use]
+    pub fn aborts(&self) -> u64 {
+        self.cores
+            .iter()
+            .flat_map(|c| &c.attempts)
+            .filter(|a| matches!(a.outcome, AttemptOutcome::Aborted(_)))
+            .count() as u64
+    }
+}
+
+/// Groups forwardings into chains and histograms their sizes.
+///
+/// A *chain instance* is a set of transactions linked by forwardings that
+/// are concurrently live; we approximate it by uniting forward edges whose
+/// endpoints share a core while that core's attempt is still open, i.e. a
+/// union-find over `(core, attempt-generation)` nodes.
+fn chain_lengths(events: &[TraceEvent]) -> BTreeMap<usize, u64> {
+    // Attempt generation counter per core: bumped on TxBegin.
+    let mut generation: BTreeMap<usize, u64> = BTreeMap::new();
+    // Union-find over (core, generation) node ids.
+    let mut ids: BTreeMap<(usize, u64), usize> = BTreeMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let node =
+        |ids: &mut BTreeMap<(usize, u64), usize>, parent: &mut Vec<usize>, key: (usize, u64)| {
+            *ids.entry(key).or_insert_with(|| {
+                let id = parent.len();
+                parent.push(id);
+                id
+            })
+        };
+
+    for ev in events {
+        match ev {
+            TraceEvent::TxBegin { core, .. } => {
+                *generation.entry(*core).or_insert(0) += 1;
+            }
+            TraceEvent::Forward { from, to, .. } => {
+                let gf = generation.get(from).copied().unwrap_or(0);
+                let gt = generation.get(to).copied().unwrap_or(0);
+                let a = node(&mut ids, &mut parent, (*from, gf));
+                let b = node(&mut ids, &mut parent, (*to, gt));
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut sizes: BTreeMap<usize, usize> = BTreeMap::new();
+    let roots: Vec<usize> = (0..parent.len()).map(|i| find(&mut parent, i)).collect();
+    for r in roots {
+        *sizes.entry(r).or_insert(0) += 1;
+    }
+    let mut hist = BTreeMap::new();
+    for size in sizes.values() {
+        *hist.entry(*size).or_insert(0) += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_begin(at: u64, core: usize) -> TraceEvent {
+        TraceEvent::TxBegin {
+            at: Cycle(at),
+            core,
+        }
+    }
+
+    fn ev_commit(at: u64, core: usize) -> TraceEvent {
+        TraceEvent::Commit {
+            at: Cycle(at),
+            core,
+        }
+    }
+
+    fn ev_abort(at: u64, core: usize) -> TraceEvent {
+        TraceEvent::Abort {
+            at: Cycle(at),
+            core,
+            cause: AbortCause::Conflict,
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_run() {
+        let events = vec![
+            ev_begin(10, 0),
+            TraceEvent::ValStallBegin {
+                at: Cycle(40),
+                core: 0,
+            },
+            TraceEvent::ValStallEnd {
+                at: Cycle(55),
+                core: 0,
+            },
+            ev_commit(55, 0),
+            ev_begin(60, 0),
+            ev_abort(80, 0),
+            TraceEvent::Fallback {
+                at: Cycle(85),
+                core: 0,
+            },
+            TraceEvent::FallbackRelease {
+                at: Cycle(95),
+                core: 0,
+            },
+        ];
+        let tl = Timeline::rebuild(&events, 100);
+        let b = tl.cores[0].breakdown;
+        assert_eq!(b.useful, 30, "45 committed-span cycles minus 15 stall");
+        assert_eq!(b.validation_stall, 15);
+        assert_eq!(b.wasted, 20);
+        assert_eq!(b.fallback, 10);
+        assert_eq!(b.other, 100 - 30 - 15 - 20 - 10);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn unfinished_attempt_lands_in_other() {
+        let events = vec![ev_begin(10, 0)];
+        let tl = Timeline::rebuild(&events, 50);
+        let b = tl.cores[0].breakdown;
+        assert_eq!(b.useful + b.wasted + b.validation_stall, 0);
+        assert_eq!(b.other, 50);
+        assert_eq!(tl.cores[0].attempts.len(), 1);
+        assert_eq!(tl.cores[0].attempts[0].outcome, AttemptOutcome::Unfinished);
+    }
+
+    #[test]
+    fn forwarding_graph_and_pic_depths() {
+        let events = vec![
+            ev_begin(0, 0),
+            ev_begin(0, 1),
+            TraceEvent::Forward {
+                at: Cycle(5),
+                from: 0,
+                to: 1,
+                line: LineAddr(1),
+                pic: Some(Pic::INIT),
+            },
+            TraceEvent::Forward {
+                at: Cycle(9),
+                from: 0,
+                to: 1,
+                line: LineAddr(2),
+                pic: None,
+            },
+            ev_commit(10, 0),
+            ev_commit(20, 1),
+        ];
+        let tl = Timeline::rebuild(&events, 30);
+        assert_eq!(tl.chains.forwardings, 2);
+        assert_eq!(tl.chains.graph.get(&(0, 1)), Some(&2));
+        assert_eq!(tl.chains.pic_depth_hist.get(&0), Some(&1), "INIT = depth 0");
+        assert_eq!(
+            tl.chains.pic_depth_hist.values().sum::<u64>(),
+            1,
+            "pic-less forward excluded"
+        );
+        assert_eq!(tl.chains.chain_len_hist.get(&2), Some(&1));
+        assert_eq!(tl.cores[0].attempts[0].forwards_out.len(), 2);
+        assert_eq!(tl.cores[1].attempts[0].forwards_in.len(), 2);
+    }
+
+    #[test]
+    fn three_link_chain_counts_as_one_chain_of_three() {
+        let events = vec![
+            ev_begin(0, 0),
+            ev_begin(0, 1),
+            ev_begin(0, 2),
+            TraceEvent::Forward {
+                at: Cycle(3),
+                from: 0,
+                to: 1,
+                line: LineAddr(1),
+                pic: Some(Pic::INIT),
+            },
+            TraceEvent::Forward {
+                at: Cycle(6),
+                from: 1,
+                to: 2,
+                line: LineAddr(2),
+                pic: Some(Pic::INIT),
+            },
+            ev_commit(10, 0),
+            ev_commit(12, 1),
+            ev_commit(14, 2),
+        ];
+        let tl = Timeline::rebuild(&events, 20);
+        assert_eq!(tl.chains.chain_len_hist.get(&3), Some(&1));
+        assert_eq!(tl.chains.chain_len_hist.len(), 1);
+    }
+
+    #[test]
+    fn noc_usage_sums_transit_and_queueing() {
+        let events = vec![
+            TraceEvent::NocSend {
+                at: Cycle(0),
+                src: 0,
+                dst: 4,
+                flits: 1,
+                arrive: Cycle(2), // uncontended: 1 flit + 1 link hop
+            },
+            TraceEvent::NocSend {
+                at: Cycle(0),
+                src: 0,
+                dst: 4,
+                flits: 5,
+                arrive: Cycle(7), // queued 1 cycle behind the first
+            },
+        ];
+        let tl = Timeline::rebuild(&events, 10);
+        assert_eq!(tl.noc.messages, 2);
+        assert_eq!(tl.noc.flits, 6);
+        assert_eq!(tl.noc.transit_cycles, 9);
+        assert_eq!(tl.noc.queueing_cycles, 1);
+    }
+
+    #[test]
+    fn vsb_occupancy_and_evictions_attach_to_attempts() {
+        let events = vec![
+            ev_begin(0, 0),
+            TraceEvent::VsbInsert {
+                at: Cycle(2),
+                core: 0,
+                line: LineAddr(1),
+                occupancy: 1,
+            },
+            TraceEvent::VsbInsert {
+                at: Cycle(3),
+                core: 0,
+                line: LineAddr(2),
+                occupancy: 2,
+            },
+            TraceEvent::Validated {
+                at: Cycle(5),
+                core: 0,
+                line: LineAddr(1),
+            },
+            TraceEvent::VsbEvict {
+                at: Cycle(8),
+                core: 0,
+                line: LineAddr(2),
+            },
+            ev_abort(8, 0),
+        ];
+        let tl = Timeline::rebuild(&events, 10);
+        let a = &tl.cores[0].attempts[0];
+        assert_eq!(a.vsb_peak, 2);
+        assert_eq!(a.validations, 1);
+        assert_eq!(a.evictions, 1);
+    }
+}

@@ -13,10 +13,12 @@
 //! and prints a summary. `--smoke` switches to the 4-core quick-test
 //! machine with the atomicity oracle armed.
 
+use chats_obs::{profile_value, ProfileMeta, Timeline, VecSink};
 use chats_runner::{
-    default_cache_dir, default_runs_dir, experiments, summary_table, write_manifest, DiskCache,
-    Runner, RunnerConfig, Scale,
+    default_cache_dir, default_runs_dir, experiments, summary_table, write_manifest_with_profile,
+    DiskCache, JobSet, Runner, RunnerConfig, Scale,
 };
+use chats_workloads::{registry, run_workload_traced};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -39,6 +41,9 @@ options (run):
   --verify-determinism      run every executed job twice, demand identical stats
   --cache-dir D             cache directory (default target/chats-cache)
   --runs-dir D              manifest directory (default target/chats-runs)
+  --profile LABEL           re-run the job matching LABEL with tracing and
+                            attach its cycle-accounting profile to the
+                            manifest (target/chats-runs/<id>/profile.json)
   --quiet                   no per-job progress lines
 
 sets: fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
@@ -56,6 +61,7 @@ struct Args {
     verify_determinism: bool,
     cache_dir: Option<PathBuf>,
     runs_dir: Option<PathBuf>,
+    profile: Option<String>,
     quiet: bool,
     clean_runs: bool,
 }
@@ -75,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         verify_determinism: false,
         cache_dir: None,
         runs_dir: None,
+        profile: None,
         quiet: false,
         clean_runs: false,
     };
@@ -92,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
             "--verify-determinism" => args.verify_determinism = true,
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--runs-dir" => args.runs_dir = Some(PathBuf::from(value("--runs-dir")?)),
+            "--profile" => args.profile = Some(value("--profile")?),
             "--quiet" => args.quiet = true,
             "--runs" => args.clean_runs = true,
             "--help" | "-h" => {
@@ -207,9 +215,30 @@ fn cmd_run(args: &Args, scale: Scale) -> ExitCode {
     let runner = Runner::new(cfg);
     let report = runner.run_set(&set);
     println!("{}", summary_table(&report));
+    let profile_json = match &args.profile {
+        Some(needle) => match build_profile(&set, needle) {
+            Ok(json) => Some(json),
+            Err(e) => {
+                eprintln!("chats-run: profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let runs_dir = args.runs_dir.clone().unwrap_or_else(default_runs_dir);
-    match write_manifest(&report, &ids, scale.label(), &runs_dir) {
-        Ok(info) => println!("manifest: {}", info.path.display()),
+    match write_manifest_with_profile(
+        &report,
+        &ids,
+        scale.label(),
+        &runs_dir,
+        profile_json.as_deref(),
+    ) {
+        Ok(info) => {
+            println!("manifest: {}", info.path.display());
+            if let Some(p) = &info.profile {
+                println!("profile:  {}", p.display());
+            }
+        }
         Err(e) => {
             eprintln!("chats-run: could not write manifest: {e}");
             return ExitCode::FAILURE;
@@ -229,6 +258,36 @@ fn cmd_run(args: &Args, scale: Scale) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Re-runs the job whose label matches `needle` (exactly, else by
+/// substring) with a trace sink attached and digests the timeline into
+/// the `profile.json` document. Profiling reruns outside the worker pool
+/// on purpose: the traced execution never touches the result cache, so
+/// existing cache entries stay valid.
+fn build_profile(set: &JobSet, needle: &str) -> Result<String, String> {
+    let job = set
+        .iter()
+        .find(|j| j.label() == needle)
+        .or_else(|| set.iter().find(|j| j.label().contains(needle)))
+        .ok_or_else(|| format!("no job matches '{needle}'"))?;
+    let workload = registry::by_name(&job.workload)
+        .ok_or_else(|| format!("unknown workload '{}'", job.workload))?;
+    let (out, sink) = run_workload_traced(
+        workload.as_ref(),
+        job.policy,
+        &job.config,
+        Box::new(VecSink::new()),
+    )?;
+    let events = VecSink::into_events(sink);
+    let tl = Timeline::rebuild(&events, out.stats.cycles);
+    let meta = ProfileMeta {
+        workload: job.workload.clone(),
+        system: job.policy.system.label().to_string(),
+        threads: job.config.threads,
+        seed: job.config.seed,
+    };
+    Ok(profile_value(&tl, &meta).to_json())
 }
 
 fn cmd_clean(args: &Args) -> ExitCode {

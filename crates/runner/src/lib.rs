@@ -36,5 +36,7 @@ pub use cache::{default_cache_dir, DiskCache, CACHE_VERSION};
 pub use experiments::{contended, Scale, MAIN_SYSTEMS};
 pub use job::{JobId, JobSet, JobSpec};
 pub use json::Json;
-pub use manifest::{default_runs_dir, summary_table, write_manifest, ManifestInfo};
+pub use manifest::{
+    default_runs_dir, summary_table, write_manifest, write_manifest_with_profile, ManifestInfo,
+};
 pub use pool::{JobOutcome, JobRecord, RunReport, Runner, RunnerConfig};

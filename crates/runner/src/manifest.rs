@@ -35,11 +35,28 @@ pub struct ManifestInfo {
     pub path: PathBuf,
     /// Timestamp-plus-content id, unique per invocation.
     pub run_id: String,
+    /// `<runs-dir>/<run-id>/profile.json`, when a profile was attached.
+    pub profile: Option<PathBuf>,
 }
 
 /// Builds the manifest JSON document for a report.
 #[must_use]
 pub fn manifest_json(report: &RunReport, sets: &[String], scale: &str, run_id: &str) -> Json {
+    manifest_json_with_profile(report, sets, scale, run_id, None)
+}
+
+/// [`manifest_json`] plus an optional `profile` field — the manifest-dir
+/// relative path of a cycle-accounting profile artifact. The field is
+/// simply absent when no profile was recorded, so older manifests and
+/// consumers are unaffected.
+#[must_use]
+pub fn manifest_json_with_profile(
+    report: &RunReport,
+    sets: &[String],
+    scale: &str,
+    run_id: &str,
+    profile_rel: Option<&str>,
+) -> Json {
     let created_ms = unix_millis();
     let cached = report.count("cached");
     let total = report.records.len();
@@ -124,6 +141,9 @@ pub fn manifest_json(report: &RunReport, sets: &[String], scale: &str, run_id: &
     root.insert("jobs".to_string(), Json::Obj(jobs));
     root.insert("cache".to_string(), Json::Obj(cache));
     root.insert("per_job".to_string(), Json::Arr(per_job));
+    if let Some(rel) = profile_rel {
+        root.insert("profile".to_string(), Json::Str(rel.to_string()));
+    }
     Json::Obj(root)
 }
 
@@ -138,6 +158,24 @@ pub fn write_manifest(
     scale: &str,
     dir: &Path,
 ) -> io::Result<ManifestInfo> {
+    write_manifest_with_profile(report, sets, scale, dir, None)
+}
+
+/// [`write_manifest`] plus an optional profile artifact: when
+/// `profile_json` is given, it is written to `<dir>/<run-id>/profile.json`
+/// and the manifest gains a `profile` field pointing at it (relative to
+/// `dir`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_manifest_with_profile(
+    report: &RunReport,
+    sets: &[String],
+    scale: &str,
+    dir: &Path,
+    profile_json: Option<&str>,
+) -> io::Result<ManifestInfo> {
     fs::create_dir_all(dir)?;
     let salt: String = report.records.iter().map(|r| r.id.as_str()).collect();
     let run_id = format!(
@@ -145,12 +183,27 @@ pub fn write_manifest(
         unix_millis(),
         fnv1a_64(salt.as_bytes()) ^ u64::from(std::process::id())
     );
+    let mut profile = None;
+    let mut profile_rel = None;
+    if let Some(json) = profile_json {
+        let subdir = dir.join(&run_id);
+        fs::create_dir_all(&subdir)?;
+        let p = subdir.join("profile.json");
+        fs::write(&p, json)?;
+        profile_rel = Some(format!("{run_id}/profile.json"));
+        profile = Some(p);
+    }
     let path = dir.join(format!("{run_id}.json"));
     fs::write(
         &path,
-        manifest_json(report, sets, scale, &run_id).to_pretty(),
+        manifest_json_with_profile(report, sets, scale, &run_id, profile_rel.as_deref())
+            .to_pretty(),
     )?;
-    Ok(ManifestInfo { path, run_id })
+    Ok(ManifestInfo {
+        path,
+        run_id,
+        profile,
+    })
 }
 
 /// A two-column summary of a report for terminal display.
@@ -264,6 +317,37 @@ mod tests {
         assert!(text.contains("parallel speedup"), "{text}");
         assert!(text.contains("cache hit rate"), "{text}");
         assert!(text.contains("33%"), "{text}");
+    }
+
+    #[test]
+    fn profile_field_is_optional_and_relative() {
+        let report = sample_report();
+        // Absent by default: existing manifests and their consumers see no
+        // change at all.
+        let bare = manifest_json(&report, &["fig4".into()], "quick", "r");
+        assert!(bare.get("profile").is_none());
+
+        let dir = std::env::temp_dir().join(format!("chats-profile-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let info = write_manifest_with_profile(
+            &report,
+            &["fig4".into()],
+            "quick",
+            &dir,
+            Some("{\"useful\": 1}"),
+        )
+        .unwrap();
+        let profile_path = info.profile.expect("profile written");
+        assert_eq!(
+            std::fs::read_to_string(&profile_path).unwrap(),
+            "{\"useful\": 1}"
+        );
+        let back = Json::parse(&std::fs::read_to_string(&info.path).unwrap()).unwrap();
+        assert_eq!(
+            back.get("profile").and_then(Json::as_str),
+            Some(format!("{}/profile.json", info.run_id).as_str())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!((Cycle(130) - start), 30);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cycle(pub u64);
 
 impl Cycle {

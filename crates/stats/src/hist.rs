@@ -1,0 +1,124 @@
+//! Sparse integer histograms.
+//!
+//! The observability layer folds traces into distributions — PiC depths,
+//! chain lengths, VSB occupancies — whose domains are tiny but unknown in
+//! advance. [`Histogram`] keeps them sparsely, renders them compactly, and
+//! answers the summary questions (total mass, mean, maximum) the reports
+//! print.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sparse histogram over `u64` bins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Adds one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Adds `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n > 0 {
+            *self.counts.entry(value).or_insert(0) += n;
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Mean observed value, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let sum: u64 = self.counts.iter().map(|(v, n)| v * n).sum();
+        Some(sum as f64 / total as f64)
+    }
+
+    /// Largest observed value, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Iterates `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &n)| (v, n))
+    }
+}
+
+impl FromIterator<(u64, u64)> for Histogram {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Histogram {
+        let mut h = Histogram::new();
+        for (v, n) in iter {
+            h.record_n(v, n);
+        }
+        h
+    }
+}
+
+/// Renders as `value:count` pairs separated by two spaces, e.g. `0:6  1:7`,
+/// or `(empty)` when nothing was recorded.
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counts.is_empty() {
+            return write!(f, "(empty)");
+        }
+        for (i, (v, n)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{v}:{n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1);
+        h.record_n(4, 3);
+        h.record_n(9, 0); // zero-count entries are not materialized
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max(), Some(4));
+        assert_eq!(h.mean(), Some((1 + 1 + 4 * 3) as f64 / 5.0));
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(1, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn display_is_compact_and_sorted() {
+        let h: Histogram = [(3, 1), (0, 6), (1, 7)].into_iter().collect();
+        assert_eq!(h.to_string(), "0:6  1:7  3:1");
+        assert_eq!(Histogram::new().to_string(), "(empty)");
+        assert_eq!(Histogram::new().mean(), None);
+        assert_eq!(Histogram::new().max(), None);
+    }
+}

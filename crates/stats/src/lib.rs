@@ -8,11 +8,13 @@
 //! [`table::Table`].
 
 pub mod chart;
+pub mod hist;
 pub mod run;
 pub mod summary;
 pub mod table;
 
 pub use chart::BarChart;
+pub use hist::Histogram;
 pub use run::{RunStats, TxOutcomeCounts};
 pub use summary::{amean, gmean, normalize, normalize_to};
 pub use table::Table;

@@ -44,4 +44,6 @@ pub mod replay;
 pub mod spec;
 
 pub use replay::{ThreadTrace, TraceOp, TraceWorkload};
-pub use spec::{run_workload, RunConfig, RunOutput, ThreadProgram, Workload, WorkloadSetup};
+pub use spec::{
+    run_workload, run_workload_traced, RunConfig, RunOutput, ThreadProgram, Workload, WorkloadSetup,
+};

@@ -1,7 +1,7 @@
 //! The workload abstraction and the standard runner.
 
 use chats_core::PolicyConfig;
-use chats_machine::{Machine, SimError, Tuning};
+use chats_machine::{Machine, SimError, TraceSink, Tuning};
 use chats_mem::Addr;
 use chats_sim::{SimRng, SystemConfig};
 use chats_stats::RunStats;
@@ -120,6 +120,33 @@ pub fn run_workload(
     policy: PolicyConfig,
     cfg: &RunConfig,
 ) -> Result<RunOutput, String> {
+    run_machine(workload, policy, cfg, None).map(|(out, _)| out)
+}
+
+/// Like [`run_workload`], but routes every protocol trace event into
+/// `sink` and hands the sink back with the statistics, so callers can
+/// reconstruct the run's timeline (see the `chats-obs` crate).
+///
+/// # Errors
+///
+/// Returns an error string on simulation timeout/deadlock or invariant
+/// violation (an HTM correctness bug). The sink is lost on error.
+pub fn run_workload_traced(
+    workload: &dyn Workload,
+    policy: PolicyConfig,
+    cfg: &RunConfig,
+    sink: Box<dyn TraceSink>,
+) -> Result<(RunOutput, Box<dyn TraceSink>), String> {
+    run_machine(workload, policy, cfg, Some(sink))
+        .map(|(out, sink)| (out, sink.expect("machine returns the installed sink")))
+}
+
+fn run_machine(
+    workload: &dyn Workload,
+    policy: PolicyConfig,
+    cfg: &RunConfig,
+    sink: Option<Box<dyn TraceSink>>,
+) -> Result<(RunOutput, Option<Box<dyn TraceSink>>), String> {
     let mut sys = cfg.system;
     sys.core.cores = cfg.threads;
     let mut rng = SimRng::seed_from(cfg.seed);
@@ -130,6 +157,9 @@ pub fn run_workload(
         "workload produced a wrong thread count"
     );
     let mut m = Machine::new(sys, policy, cfg.tuning, cfg.seed);
+    if let Some(sink) = sink {
+        m.set_trace_sink(sink);
+    }
     for (addr, v) in &setup.init {
         m.store_init(*addr, *v);
     }
@@ -164,5 +194,6 @@ pub fn run_workload(
             policy.system
         )
     })?;
-    Ok(RunOutput { stats })
+    let sink = m.take_trace_sink();
+    Ok((RunOutput { stats }, sink))
 }

@@ -47,31 +47,46 @@ fn consumer() -> Program {
     b.build()
 }
 
-fn run(system: HtmSystem) -> (RunStats, u64, u64, Vec<String>) {
+fn run(system: HtmSystem) -> (RunStats, u64, u64, Vec<String>, u64) {
     let mut sys = SystemConfig::default();
     sys.core.cores = 2;
     let mut m = Machine::new(sys, PolicyConfig::for_system(system), Tuning::default(), 1);
-    m.enable_trace(64);
+    // A deliberately small ring: enough for the protocol-level story, with
+    // NoC-level chatter allowed to age out (and counted when it does).
+    m.set_trace_sink(Box::new(RingSink::new(64)));
     m.load_thread(0, Vm::new(producer(), 0));
     m.load_thread(1, Vm::new(consumer(), 1));
     let stats = m.run(1_000_000).expect("scenario completes");
-    let trace = m.trace_events().iter().map(ToString::to_string).collect();
+    let trace = m
+        .trace_events()
+        .iter()
+        .filter(|e| !matches!(e, TraceEvent::NocSend { .. }))
+        .map(ToString::to_string)
+        .collect();
+    let dropped = m.dropped_events();
     (
         stats,
         m.inspect_word(Addr(OUT0)),
         m.inspect_word(Addr(OUT1)),
         trace,
+        dropped,
     )
 }
 
 fn main() {
     println!("scenario: T0 stores 42 to a shared line, then lingers; T1 reads it mid-flight.\n");
     for system in [HtmSystem::Baseline, HtmSystem::Chats] {
-        let (s, out0, out1, trace) = run(system);
+        let (s, out0, out1, trace, dropped) = run(system);
         println!("--- {} ---", system.label());
         println!("  protocol trace:");
         for line in &trace {
             println!("    {line}");
+        }
+        if dropped > 0 {
+            println!(
+                "  warning: {dropped} early event(s) aged out of the 64-entry \
+                 ring (use a larger ring or a streaming sink for the full story)"
+            );
         }
         println!("  cycles          : {}", s.cycles);
         println!("  commits         : {}", s.commits);

@@ -6,6 +6,7 @@
 //! cargo run --release --example policy_showdown [--quick]
 //! ```
 
+use chats::obs::{Timeline, VecSink};
 use chats::prelude::*;
 use chats::stats::{gmean, Table};
 
@@ -50,5 +51,46 @@ fn main() {
 
     println!("normalized execution time (lower is better, baseline = 1.0)\n");
     println!("{table}");
+
+    // Where do the cycles of a contended run actually go? Trace one
+    // representative workload under every policy and break each core-cycle
+    // into the paper's buckets (the five columns partition the run).
+    let anatomy = registry::by_name("kmeans-h").expect("registered workload");
+    let mut acct = Table::new(
+        [
+            "system",
+            "useful",
+            "wasted",
+            "val-stall",
+            "fallback",
+            "other",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for &sys in systems.iter() {
+        let (out, sink) = run_workload_traced(
+            anatomy.as_ref(),
+            PolicyConfig::for_system(sys),
+            &cfg,
+            Box::new(VecSink::new()),
+        )
+        .expect("traced run completes");
+        let events = VecSink::into_events(sink);
+        let tl = Timeline::rebuild(&events, out.stats.cycles);
+        let agg = tl.aggregate();
+        let total = agg.total().max(1) as f64;
+        let pct = |v: u64| format!("{:.1}%", 100.0 * v as f64 / total);
+        acct.row(vec![
+            sys.label().to_string(),
+            pct(agg.useful),
+            pct(agg.wasted),
+            pct(agg.validation_stall),
+            pct(agg.fallback),
+            pct(agg.other),
+        ]);
+    }
+    println!("cycle accounting on kmeans-h (share of all core-cycles)\n");
+    println!("{acct}");
     println!("every run passed its workload's serializability checker.");
 }

@@ -19,6 +19,8 @@
 //! * [`workloads`] *(chats-workloads)* — STAMP-like kernels with
 //!   serializability checkers,
 //! * [`tvm`] *(chats-tvm)* — the transactional bytecode VM,
+//! * [`obs`] *(chats-obs)* — observability: pluggable trace sinks, timeline
+//!   reconstruction with cycle accounting, Perfetto/Chrome-trace export,
 //! * [`mem`] / [`noc`] / [`sim`] / [`stats`] — substrates.
 //!
 //! # Quickstart
@@ -43,6 +45,7 @@ pub use chats_core as core;
 pub use chats_machine as machine;
 pub use chats_mem as mem;
 pub use chats_noc as noc;
+pub use chats_obs as obs;
 pub use chats_sim as sim;
 pub use chats_stats as stats;
 pub use chats_tvm as tvm;
@@ -53,10 +56,10 @@ pub mod prelude {
     pub use chats_core::{
         AbortCause, ForwardSet, HtmSystem, Pic, PicContext, PolicyConfig, ValidationStateBuffer,
     };
-    pub use chats_machine::{Machine, SimError, Tuning};
+    pub use chats_machine::{Machine, RingSink, SimError, TraceEvent, TraceSink, Tuning};
     pub use chats_mem::{Addr, LineAddr};
     pub use chats_sim::{Cycle, SystemConfig};
     pub use chats_stats::RunStats;
     pub use chats_tvm::{Program, ProgramBuilder, Reg, Vm};
-    pub use chats_workloads::{registry, run_workload, RunConfig, Workload};
+    pub use chats_workloads::{registry, run_workload, run_workload_traced, RunConfig, Workload};
 }

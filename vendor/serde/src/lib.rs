@@ -118,6 +118,32 @@ impl Value {
         out
     }
 
+    /// Parses JSON text into a value tree (the inverse of
+    /// [`Value::to_json`]): strict single-document parsing with a
+    /// byte-offset error message on malformed input.
+    ///
+    /// Numbers parse as `U64` when non-negative and integral, `I64` when
+    /// negative and integral, `F64` otherwise — matching what
+    /// [`Value::to_json`] emits for each variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description with the byte offset of the first syntax
+    /// error, or of trailing garbage after the document.
+    pub fn from_json(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
     fn write_json(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
@@ -155,6 +181,203 @@ impl Value {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent JSON reader over raw bytes (ASCII structure; string
+/// contents pass through as UTF-8).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected character {:?} at byte {}",
+                b as char, self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            m.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(m));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs wholesale so UTF-8 passes through intact.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| {
+                                    format!("truncated \\u escape at byte {}", self.pos)
+                                })?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|_| {
+                                format!("bad \\u escape {hex:?} at byte {}", self.pos)
+                            })?;
+                            // Surrogates (emitted only for astral chars by
+                            // other writers) are replaced, not rejected.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !fractional {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
     }
 }
 
@@ -435,5 +658,48 @@ mod tests {
     fn shape_mismatches_are_reported() {
         assert!(u64::from_value(&Value::Str("x".into())).is_err());
         assert!(<[u64; 3]>::from_value(&vec![1u64].to_value()).is_err());
+    }
+
+    #[test]
+    fn json_parses_scalars() {
+        assert_eq!(Value::from_json("null"), Ok(Value::Null));
+        assert_eq!(Value::from_json(" true "), Ok(Value::Bool(true)));
+        assert_eq!(Value::from_json("42"), Ok(Value::U64(42)));
+        assert_eq!(Value::from_json("-7"), Ok(Value::I64(-7)));
+        assert_eq!(Value::from_json("2.5"), Ok(Value::F64(2.5)));
+        assert_eq!(Value::from_json("\"hi\""), Ok(Value::Str("hi".into())));
+    }
+
+    #[test]
+    fn json_parses_containers_and_escapes() {
+        let v = Value::from_json(r#"{"a":[1,2],"b":{"c":"x\ny"},"d":null}"#).unwrap();
+        let m = v.as_map().unwrap();
+        assert_eq!(m["a"], Value::Seq(vec![Value::U64(1), Value::U64(2)]));
+        assert_eq!(m["b"].as_map().unwrap()["c"], Value::Str("x\ny".into()));
+        assert_eq!(m["d"], Value::Null);
+        assert_eq!(Value::from_json("\"\\u0041\""), Ok(Value::Str("A".into())));
+    }
+
+    #[test]
+    fn json_round_trips_to_json_output() {
+        let mut m = BTreeMap::new();
+        m.insert("s".to_string(), Value::Str("q\"\\\n".into()));
+        m.insert("n".to_string(), Value::I64(-3));
+        m.insert(
+            "xs".to_string(),
+            Value::Seq(vec![Value::Bool(false), Value::Null, Value::U64(9)]),
+        );
+        let v = Value::Map(m);
+        assert_eq!(Value::from_json(&v.to_json()), Ok(v));
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        assert!(Value::from_json("").is_err());
+        assert!(Value::from_json("{").is_err());
+        assert!(Value::from_json("[1,]").is_err());
+        assert!(Value::from_json("\"open").is_err());
+        assert!(Value::from_json("12 34").is_err(), "trailing garbage");
+        assert!(Value::from_json("nul").is_err());
     }
 }
