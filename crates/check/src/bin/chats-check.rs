@@ -3,7 +3,8 @@
 //! ```text
 //! chats-check list   [--smoke]
 //! chats-check explore [--smoke] [--walks N] [--flips N] [--no-attacks]
-//!                     [--filter S] [--failures-dir D] [--out D] [--quiet]
+//!                     [--faults PLAN.json] [--filter S]
+//!                     [--failures-dir D] [--out D] [--quiet]
 //! chats-check replay FILE
 //! ```
 //!
@@ -15,8 +16,8 @@
 //! reproduces.
 
 use chats_check::{
-    default_failures_dir, explore, full_scenarios, smoke_scenarios, ExploreBudget, Outcome,
-    Reproducer, Scenario,
+    apply_fault_plan, default_failures_dir, explore, full_scenarios, smoke_scenarios,
+    ExploreBudget, FaultPlan, Outcome, Reproducer, Scenario,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,6 +35,10 @@ options:
   --walks N                 random-walk schedules per scenario
   --flips N                 single-decision perturbations per scenario
   --no-attacks              skip the targeted attack schedules
+  --faults PLAN.json        install the fault plan on every scenario (the
+                            oracles must hold under faults too); PLAN may
+                            also be a shipped plan name: lossy-noc,
+                            abort-storm, validation-stress
   --filter S                keep scenarios whose name contains S
   --failures-dir D          reproducer directory (default target/chats-failures)
   --out D                   manifest directory (default target/chats-check)
@@ -46,6 +51,7 @@ struct Args {
     walks: Option<usize>,
     flips: Option<usize>,
     no_attacks: bool,
+    faults: Option<String>,
     filter: Option<String>,
     failures_dir: Option<PathBuf>,
     out: Option<PathBuf>,
@@ -62,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         walks: None,
         flips: None,
         no_attacks: false,
+        faults: None,
         filter: None,
         failures_dir: None,
         out: None,
@@ -74,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
             "--walks" => args.walks = Some(parse_num(&value("--walks")?, "--walks")?),
             "--flips" => args.flips = Some(parse_num(&value("--flips")?, "--flips")?),
             "--no-attacks" => args.no_attacks = true,
+            "--faults" => args.faults = Some(value("--faults")?),
             "--filter" => args.filter = Some(value("--filter")?),
             "--failures-dir" => args.failures_dir = Some(PathBuf::from(value("--failures-dir")?)),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
@@ -99,7 +107,17 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> 
         .map_err(|_| format!("{flag}: invalid number '{text}'"))
 }
 
-fn suite(args: &Args) -> Vec<Scenario> {
+/// Resolves `--faults`: a shipped plan name first, else a JSON file path.
+fn resolve_plan(spec: &str) -> Result<FaultPlan, String> {
+    if let Some(plan) = FaultPlan::shipped().into_iter().find(|p| p.name == spec) {
+        return Ok(plan);
+    }
+    FaultPlan::load(std::path::Path::new(spec))
+}
+
+/// Builds the scenario suite; returns it with the resolved fault plan,
+/// if any, so callers can name outputs after the plan.
+fn suite(args: &Args) -> Result<(Vec<Scenario>, Option<FaultPlan>), String> {
     let mut scenarios = if args.smoke {
         smoke_scenarios()
     } else {
@@ -108,7 +126,15 @@ fn suite(args: &Args) -> Vec<Scenario> {
     if let Some(needle) = &args.filter {
         scenarios.retain(|s| s.name.contains(needle.as_str()));
     }
-    scenarios
+    let plan = match &args.faults {
+        Some(spec) => {
+            let plan = resolve_plan(spec)?;
+            apply_fault_plan(&mut scenarios, &plan);
+            Some(plan)
+        }
+        None => None,
+    };
+    Ok((scenarios, plan))
 }
 
 fn main() -> ExitCode {
@@ -131,7 +157,13 @@ fn main() -> ExitCode {
 }
 
 fn cmd_list(args: &Args) -> ExitCode {
-    let scenarios = suite(args);
+    let (scenarios, _) = match suite(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("chats-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
     for s in &scenarios {
         println!(
             "{:<24} {:<10} threads={} seed={} {}",
@@ -151,7 +183,13 @@ fn cmd_list(args: &Args) -> ExitCode {
 }
 
 fn cmd_explore(args: &Args) -> ExitCode {
-    let scenarios = suite(args);
+    let (scenarios, plan) = match suite(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("chats-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
     if scenarios.is_empty() {
         eprintln!("chats-check: no scenarios match");
         return ExitCode::from(2);
@@ -173,14 +211,19 @@ fn cmd_explore(args: &Args) -> ExitCode {
     let report = explore(&scenarios, &budget, Some(&failures_dir), args.quiet);
 
     let out_dir = args.out.clone().unwrap_or_else(default_out_dir);
-    let manifest_name = if args.smoke {
-        "explore-smoke.json"
+    let mut manifest_name = if args.smoke {
+        "explore-smoke".to_string()
     } else {
-        "explore-full.json"
+        "explore-full".to_string()
     };
+    if let Some(p) = &plan {
+        manifest_name.push_str(&format!("-{}", p.name));
+    }
+    manifest_name.push_str(".json");
+    let manifest_path = out_dir.join(&manifest_name);
     let manifest = report.to_json(&budget).to_pretty();
-    if let Err(e) = std::fs::create_dir_all(&out_dir)
-        .and_then(|()| std::fs::write(out_dir.join(manifest_name), &manifest))
+    if let Err(e) =
+        std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&manifest_path, &manifest))
     {
         eprintln!("chats-check: could not write manifest: {e}");
         return ExitCode::FAILURE;
@@ -191,7 +234,7 @@ fn cmd_explore(args: &Args) -> ExitCode {
         report.total_runs(),
         report.failures()
     );
-    println!("manifest: {}", out_dir.join(manifest_name).display());
+    println!("manifest: {}", manifest_path.display());
     for s in &report.scenarios {
         if let Some(f) = &s.failure {
             match &f.repro_path {

@@ -43,9 +43,10 @@ pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
+pub use chats_machine::FaultPlan;
 pub use explore::{explore, explore_scenario, ExploreBudget, ExploreReport, ScenarioReport};
 pub use repro::{default_failures_dir, Reproducer};
 pub use run::{image_digest, run_scenario, FailureKind, Outcome, RunResult};
-pub use scenario::{full_scenarios, smoke_scenarios, ProgramSpec, Scenario};
+pub use scenario::{apply_fault_plan, full_scenarios, smoke_scenarios, ProgramSpec, Scenario};
 pub use schedule::{Attack, Schedule, Tail};
 pub use shrink::{shrink, ShrinkStats};

@@ -145,6 +145,9 @@ pub fn run_scenario(scenario: &Scenario, schedule: &Schedule) -> RunResult {
                 scenario.seed,
             );
             m.set_decision_hook(hook);
+            if let Some(plan) = &scenario.faults {
+                m.set_fault_plan(plan);
+            }
             for t in 0..scenario.threads {
                 m.load_thread(
                     t,
@@ -190,6 +193,13 @@ pub fn run_scenario(scenario: &Scenario, schedule: &Schedule) -> RunResult {
                     Outcome::Fail(FailureKind::Deadlock),
                     format!("deadlock at cycle {at_cycle}: {detail}"),
                 ),
+                // A fault schedule may legitimately starve progress (e.g.
+                // dropped validation responses); the watchdog converts
+                // that hang into a structured diagnosis rather than a
+                // protocol failure.
+                Err(SimError::WatchdogStall { report }) => {
+                    (Outcome::Inconclusive(format!("{report}")), String::new())
+                }
                 Ok(_) if !violations.is_empty() => {
                     (Outcome::Fail(FailureKind::Violation), violations.join("\n"))
                 }
@@ -258,6 +268,37 @@ mod tests {
         assert_eq!(replayed.outcome, walked.outcome);
         assert_eq!(replayed.image_digest, walked.image_digest);
         assert_eq!(replayed.choices(), walked.choices());
+    }
+
+    #[test]
+    fn oracles_hold_under_every_shipped_fault_plan() {
+        use chats_machine::FaultPlan;
+        for plan in FaultPlan::shipped() {
+            let mut suite = smoke_scenarios();
+            crate::scenario::apply_fault_plan(&mut suite, &plan);
+            for sc in &suite {
+                let r = run_scenario(sc, &Schedule::baseline());
+                match &r.outcome {
+                    // A fault schedule may starve progress; what it must
+                    // never do is break serializability.
+                    Outcome::Pass | Outcome::Inconclusive(_) => {}
+                    Outcome::Fail(kind) => {
+                        panic!("{}: {} under faults: {}", sc.name, kind.as_str(), r.detail)
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_runs_replay_bit_exactly() {
+        let mut suite = smoke_scenarios();
+        crate::scenario::apply_fault_plan(&mut suite, &chats_machine::FaultPlan::abort_storm());
+        let sc = &suite[0];
+        let walked = run_scenario(sc, &Schedule::random(7));
+        let replayed = run_scenario(sc, &Schedule::replay(walked.choices()));
+        assert_eq!(replayed.outcome, walked.outcome);
+        assert_eq!(replayed.image_digest, walked.image_digest);
     }
 
     #[test]

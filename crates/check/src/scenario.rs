@@ -2,6 +2,7 @@
 //! it runs under, serialisable to JSON so reproducers are self-contained.
 
 use chats_core::HtmSystem;
+use chats_machine::FaultPlan;
 use chats_runner::Json;
 use chats_tvm::gen::{self, Kernel};
 use std::collections::BTreeMap;
@@ -212,6 +213,10 @@ pub struct Scenario {
     /// Arms the planted validation-skip bug (`Tuning::debug_skip_validation`);
     /// only ever set by tests proving the oracle catches it.
     pub skip_validation_bug: bool,
+    /// Fault plan installed on the machine (`None` = fault-free). The
+    /// plan rides inside reproducers, so a failing fault schedule replays
+    /// and shrinks exactly like a failing decision schedule.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -232,6 +237,14 @@ impl Scenario {
             "skip_validation_bug".to_string(),
             Json::Bool(self.skip_validation_bug),
         );
+        // The key is absent for fault-free scenarios, so their canonical
+        // form (and reproducer hash) is unchanged from before fault plans
+        // existed.
+        if let Some(plan) = &self.faults {
+            let embedded =
+                Json::parse(&plan.to_json_text()).expect("fault plan renders valid JSON");
+            m.insert("faults".to_string(), embedded);
+        }
         Json::Obj(m)
     }
 
@@ -269,6 +282,12 @@ impl Scenario {
             .get("skip_validation_bug")
             .and_then(Json::as_bool)
             .unwrap_or(false);
+        let faults = match v.get("faults") {
+            None => None,
+            Some(f) => Some(
+                FaultPlan::from_json_text(&f.to_compact()).map_err(|e| format!("scenario: {e}"))?,
+            ),
+        };
         Ok(Scenario {
             name,
             system,
@@ -277,6 +296,7 @@ impl Scenario {
             program,
             max_cycles,
             skip_validation_bug,
+            faults,
         })
     }
 
@@ -302,6 +322,16 @@ fn scenario(
         program,
         max_cycles: 50_000_000,
         skip_validation_bug: false,
+        faults: None,
+    }
+}
+
+/// Installs `plan` on every scenario of a suite, tagging the names so
+/// progress lines and reproducers identify the plan at a glance.
+pub fn apply_fault_plan(scenarios: &mut [Scenario], plan: &FaultPlan) {
+    for s in scenarios.iter_mut() {
+        s.name = format!("{}+{}", s.name, plan.name);
+        s.faults = Some(plan.clone());
     }
 }
 
@@ -462,6 +492,27 @@ mod tests {
             let back = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, sc);
         }
+    }
+
+    #[test]
+    fn fault_plans_ride_inside_scenario_json() {
+        let plain = smoke_scenarios().remove(0);
+        assert!(
+            !plain.to_json().to_compact().contains("faults"),
+            "fault-free scenarios keep the pre-fault canonical form"
+        );
+        let mut suite = vec![plain.clone()];
+        apply_fault_plan(&mut suite, &FaultPlan::lossy_noc());
+        let sc = suite.remove(0);
+        assert_eq!(sc.name, format!("{}+lossy-noc", plain.name));
+        let text = sc.to_json().to_pretty();
+        let back = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(
+            back.faults.as_ref().map(FaultPlan::hash),
+            sc.faults.as_ref().map(FaultPlan::hash)
+        );
+        assert_ne!(sc.canonical(), plain.canonical());
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn buggy(name: &str, seed: u64, program: ProgramSpec) -> Scenario {
         program,
         max_cycles: 50_000_000,
         skip_validation_bug: true,
+        faults: None,
     }
 }
 
@@ -101,6 +102,42 @@ fn schedule_sweep_finds_bug_hidden_from_the_default_schedule() {
     // The shrunk prefix alone (no tail policy) re-triggers the failure.
     let replayed = run_scenario(&sc, &Schedule::replay(failure.shrunk_prefix.clone()));
     assert_eq!(replayed.outcome, Outcome::Fail(failure.kind));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shrinking and reproducers work on fault schedules too: a planted bug
+/// explored under a fault plan is caught, shrunk, saved (the plan rides
+/// inside the reproducer JSON) and replayed bit-exactly — with the fault
+/// machinery active in every probe.
+#[test]
+fn fault_schedules_shrink_and_replay() {
+    let mut sc = buggy(
+        "planted-faulted",
+        1,
+        ProgramSpec::LateCommit {
+            iters: 8,
+            spin: 150,
+        },
+    );
+    sc.faults = Some(chats_check::FaultPlan::abort_storm());
+    let dir = temp_dir("faulted");
+    let report = explore_scenario(&sc, &ExploreBudget::smoke(), Some(&dir));
+
+    let failure = report.failure.expect("planted bug not caught under faults");
+    let path = failure.repro_path.expect("no reproducer written");
+    let repro = Reproducer::load(&path).expect("reproducer must load back");
+    assert_eq!(
+        repro
+            .scenario
+            .faults
+            .as_ref()
+            .map(chats_check::FaultPlan::hash),
+        sc.faults.as_ref().map(chats_check::FaultPlan::hash),
+        "the fault plan must ride inside the reproducer"
+    );
+    let (result, reproduced) = repro.replay();
+    assert!(reproduced, "replay did not reproduce: {:?}", result.outcome);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

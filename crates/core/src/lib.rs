@@ -62,5 +62,5 @@ pub use naive::NaiveValidationCounter;
 pub use pic::{Pic, PicContext};
 pub use policy::{Ablation, ForwardSet, HtmSystem, PolicyConfig};
 pub use power::PowerToken;
-pub use retry::{FallbackLock, RetryManager, RetryVerdict};
+pub use retry::{FallbackLock, RetryManager, RetryVerdict, DEMOTE_AFTER_FAULTS};
 pub use vsb::{ValidationStateBuffer, VsbEntry};

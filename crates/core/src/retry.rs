@@ -39,7 +39,13 @@ pub struct RetryManager {
     power_threshold: Option<u32>,
     attempts: u32,
     conflict_aborts: u32,
+    faulted_attempts: u32,
 }
+
+/// Fault-induced aborts of the *same* transaction tolerated before it is
+/// demoted from CHATS forwarding to requester-wins (the middle rung of the
+/// graceful-degradation ladder; see [`RetryManager::note_fault`]).
+pub const DEMOTE_AFTER_FAULTS: u32 = 3;
 
 impl RetryManager {
     /// `max_retries` speculative re-executions are allowed before the
@@ -54,6 +60,7 @@ impl RetryManager {
             power_threshold,
             attempts: 0,
             conflict_aborts: 0,
+            faulted_attempts: 0,
         }
     }
 
@@ -81,11 +88,45 @@ impl RetryManager {
         self.attempts
     }
 
+    /// Randomized-exponential backoff window for the *next* retry, given
+    /// the per-machine base: `base << attempts`, capped at seven doublings
+    /// and 4096 cycles. The caller adds `base + rng.below(window)` cycles
+    /// of delay (the randomness comes from `chats_sim::rng`, keeping the
+    /// manager itself deterministic and state-free). This is the first
+    /// rung of the graceful-degradation ladder.
+    #[must_use]
+    pub fn backoff_window(&self, base: u64) -> u64 {
+        let window = (base << self.attempts.clamp(1, 7)).min(4096);
+        window.max(1)
+    }
+
+    /// Registers a *fault-induced* abort (spurious abort, forced VSB
+    /// eviction, injected message loss) of the current transaction.
+    /// After [`DEMOTE_AFTER_FAULTS`] such aborts the transaction is
+    /// [demoted](RetryManager::demoted) — the second rung of the ladder:
+    /// keep making progress under environmental pressure by refusing to
+    /// extend chains instead of burning the remaining retry budget on
+    /// speculation that keeps getting shot down.
+    pub fn note_fault(&mut self) {
+        self.faulted_attempts = self.faulted_attempts.saturating_add(1);
+    }
+
+    /// `true` once the current transaction has absorbed enough
+    /// fault-induced aborts to be demoted from CHATS forwarding to
+    /// requester-wins conflict resolution. Cleared by
+    /// [`RetryManager::reset`] (demotion is per-transaction). Without
+    /// fault injection this is always `false`.
+    #[must_use]
+    pub fn demoted(&self) -> bool {
+        self.faulted_attempts >= DEMOTE_AFTER_FAULTS
+    }
+
     /// Resets for the next transaction (after a commit or a completed
     /// fallback execution).
     pub fn reset(&mut self) {
         self.attempts = 0;
         self.conflict_aborts = 0;
+        self.faulted_attempts = 0;
     }
 }
 
@@ -213,6 +254,43 @@ mod tests {
         rm.reset();
         assert_eq!(rm.attempts(), 0);
         assert_eq!(rm.on_abort(AbortCause::Conflict), RetryVerdict::Retry);
+    }
+
+    #[test]
+    fn demotion_after_k_faulted_attempts_and_reset_clears_it() {
+        let mut rm = RetryManager::new(10, None);
+        assert!(!rm.demoted());
+        for _ in 0..DEMOTE_AFTER_FAULTS {
+            assert!(!rm.demoted());
+            rm.note_fault();
+        }
+        assert!(rm.demoted());
+        rm.reset();
+        assert!(!rm.demoted(), "demotion is per-transaction");
+    }
+
+    #[test]
+    fn organic_aborts_never_demote() {
+        let mut rm = RetryManager::new(100, None);
+        for _ in 0..50 {
+            rm.on_abort(AbortCause::Conflict);
+        }
+        assert!(!rm.demoted());
+    }
+
+    #[test]
+    fn backoff_window_doubles_then_saturates() {
+        let mut rm = RetryManager::new(100, None);
+        assert_eq!(rm.backoff_window(16), 32, "attempts=0 counts as 1");
+        rm.on_abort(AbortCause::Conflict);
+        assert_eq!(rm.backoff_window(16), 32);
+        rm.on_abort(AbortCause::Conflict);
+        assert_eq!(rm.backoff_window(16), 64);
+        for _ in 0..20 {
+            rm.on_abort(AbortCause::Conflict);
+        }
+        assert_eq!(rm.backoff_window(16), 2048, "seven doublings max");
+        assert_eq!(rm.backoff_window(4096), 4096, "hard 4096-cycle cap");
     }
 
     #[test]

@@ -94,6 +94,13 @@ impl Machine {
         in_ws: bool,
         has_copy: bool,
     ) -> OwnerAction {
+        // Graceful degradation (middle rung): a transaction repeatedly shot
+        // down by injected faults stops extending chains and resolves
+        // requester-wins until it commits or falls back. Never taken
+        // without fault injection (`demoted` is fed only by `note_fault`).
+        if self.cores[core].retry.demoted() {
+            return OwnerAction::AbortSelf;
+        }
         if !self.forwarding_allowed(core, req, in_ws, has_copy) {
             return OwnerAction::AbortSelf;
         }

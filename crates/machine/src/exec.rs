@@ -37,6 +37,7 @@ impl Machine {
                 VmEvent::Halted => {
                     self.cores[core].halted = true;
                     self.halted += 1;
+                    self.watchdog_progress(core);
                     return;
                 }
                 VmEvent::TxBegin => {
@@ -204,6 +205,7 @@ impl Machine {
                     at: self.clock,
                     core,
                 });
+                self.watchdog_progress(core);
                 self.wake_lock_waiters();
                 true
             }
@@ -321,6 +323,7 @@ impl Machine {
             p
         };
         self.stats.commits += 1;
+        self.watchdog_progress(core);
         self.trace.record(TraceEvent::Commit {
             at: self.clock,
             core,
@@ -451,9 +454,10 @@ impl Machine {
     /// attempt (capped), which is what keeps requester-wins out of
     /// livelock long enough to use its retry budget.
     fn backoff(&mut self, core: usize) -> u64 {
-        let attempts = self.cores[core].retry.attempts().max(1);
-        let window = (self.tuning.backoff_base << attempts.min(7)).min(4096);
-        self.tuning.backoff_base + self.rng.below(window.max(1))
+        let window = self.cores[core]
+            .retry
+            .backoff_window(self.tuning.backoff_base);
+        self.tuning.backoff_base + self.rng.below(window)
     }
 
     /// Begins non-speculative execution under the global lock; every other

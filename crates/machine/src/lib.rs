@@ -55,6 +55,7 @@ mod conflict;
 mod core_state;
 mod dir;
 mod exec;
+mod faults;
 mod machine;
 mod msg;
 mod oracle;
@@ -63,5 +64,10 @@ mod trace;
 mod validate;
 
 pub use core_state::ExecMode;
+pub use faults::{CoreSnapshot, FailureReport};
 pub use machine::{DecisionHook, Machine, SimError, Tuning, Violation};
 pub use trace::{NullSink, RingSink, TraceEvent, TraceSink};
+
+// Re-exported so downstream crates (runner, checker, observability) can
+// speak fault plans without depending on `chats-faults` directly.
+pub use chats_faults::{FaultKind, FaultPlan};

@@ -163,6 +163,17 @@ pub enum SimError {
         /// Diagnostic dump of core states.
         detail: String,
     },
+    /// The progress watchdog fired: some core made no progress (commit,
+    /// fallback completion or halt) for a full horizon, or the event queue
+    /// drained with live threads while the watchdog was armed. Unlike
+    /// [`SimError::Timeout`], this carries a structured diagnosis of what
+    /// starved and why. Only possible after [`Machine::set_watchdog`] /
+    /// [`Machine::set_fault_plan`].
+    WatchdogStall {
+        /// The structured diagnosis (boxed: it carries per-core snapshots
+        /// and recent trace events).
+        report: Box<crate::faults::FailureReport>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -179,6 +190,9 @@ impl fmt::Display for SimError {
                     f,
                     "event queue drained with live threads at cycle {at_cycle}:\n{detail}"
                 )
+            }
+            SimError::WatchdogStall { report } => {
+                write!(f, "progress watchdog fired: {report}")
             }
         }
     }
@@ -209,6 +223,11 @@ pub struct Machine {
     pub(crate) hook: Option<DecisionHook>,
     pub(crate) decision_log: Vec<DecisionRecord>,
     pub(crate) violations: Vec<Violation>,
+    /// Construction seed, kept so [`Machine::set_fault_plan`] can seed the
+    /// injector identically for identical `(seed, plan)` pairs.
+    pub(crate) seed: u64,
+    pub(crate) faults: Option<chats_faults::FaultState>,
+    pub(crate) watchdog: Option<crate::faults::Watchdog>,
 }
 
 impl fmt::Debug for Machine {
@@ -267,6 +286,9 @@ impl Machine {
             hook: None,
             decision_log: Vec::new(),
             violations: Vec::new(),
+            seed,
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -594,12 +616,20 @@ impl Machine {
                 return Err(SimError::Timeout { at_cycle: t.0 });
             }
             self.clock = t;
+            if self.watchdog.is_some() {
+                if let Some(err) = self.watchdog_check() {
+                    return Err(err);
+                }
+            }
             self.dispatch(ev);
             if self.halted == self.cores.len() {
                 break;
             }
         }
         if self.halted != self.cores.len() {
+            if let Some(err) = self.watchdog_drain_report() {
+                return Err(err);
+            }
             return Err(SimError::Deadlock {
                 at_cycle: self.clock.0,
                 detail: self.debug_dump(),
@@ -642,7 +672,11 @@ impl Machine {
         match ev {
             Event::CoreStep { core, epoch } => {
                 if self.cores[core].epoch == epoch && !self.cores[core].halted {
-                    self.core_step(core);
+                    // An armed fault plan may consume the step (freeze,
+                    // spurious abort, forced VSB eviction).
+                    if self.faults.is_none() || !self.core_fault_step(core) {
+                        self.core_step(core);
+                    }
                 }
             }
             Event::RetryTx { core, epoch } => {
@@ -696,6 +730,14 @@ impl Machine {
         let arrive = self
             .xbar
             .send(at, NodeId(from_core), self.dir_node(), class);
+        let arrive = if self.faults.is_some() {
+            match self.fault_adjust_dir_send(from_core, arrive, &msg) {
+                Some(a) => a,
+                None => return, // dropped; a MemRetry is scheduled instead
+            }
+        } else {
+            arrive
+        };
         if self.trace.enabled() {
             self.trace.record(TraceEvent::NocSend {
                 at,
@@ -719,6 +761,14 @@ impl Machine {
     ) {
         let at = self.clock + delay;
         let arrive = self.xbar.send(at, self.dir_node(), NodeId(core), class);
+        let (arrive, dup) = if self.faults.is_some() {
+            match self.fault_adjust_core_send(core, arrive, &msg) {
+                Some(adjusted) => adjusted,
+                None => return, // dropped validation response
+            }
+        } else {
+            (arrive, None)
+        };
         if self.trace.enabled() {
             self.trace.record(TraceEvent::NocSend {
                 at,
@@ -727,6 +777,10 @@ impl Machine {
                 flits: self.xbar.flits_of(class),
                 arrive,
             });
+        }
+        if let Some(d) = dup {
+            let dup_msg = msg.clone();
+            self.events.push(d, Event::CoreRecv { core, msg: dup_msg });
         }
         self.events.push(arrive, Event::CoreRecv { core, msg });
     }
@@ -743,6 +797,14 @@ impl Machine {
     ) {
         let at = self.clock + delay;
         let arrive = self.xbar.send(at, NodeId(from), NodeId(to), class);
+        let (arrive, dup) = if self.faults.is_some() {
+            match self.fault_adjust_core_send(to, arrive, &msg) {
+                Some(adjusted) => adjusted,
+                None => return, // dropped validation response
+            }
+        } else {
+            (arrive, None)
+        };
         if self.trace.enabled() {
             self.trace.record(TraceEvent::NocSend {
                 at,
@@ -751,6 +813,16 @@ impl Machine {
                 flits: self.xbar.flits_of(class),
                 arrive,
             });
+        }
+        if let Some(d) = dup {
+            let dup_msg = msg.clone();
+            self.events.push(
+                d,
+                Event::CoreRecv {
+                    core: to,
+                    msg: dup_msg,
+                },
+            );
         }
         self.events.push(arrive, Event::CoreRecv { core: to, msg });
     }

@@ -137,6 +137,27 @@ pub enum TraceEvent {
         /// The discarded line.
         line: LineAddr,
     },
+    /// The fault injector perturbed the machine (see [`chats_faults`]).
+    /// Only emitted when a fault plan is installed; a machine without one
+    /// never records this variant.
+    FaultInjected {
+        /// When.
+        at: Cycle,
+        /// The core the fault acted on (the requester for dropped
+        /// requests, the receiver for perturbed responses).
+        core: usize,
+        /// What was injected.
+        kind: chats_faults::FaultKind,
+    },
+    /// The progress watchdog declared `core` stalled: no commit, fallback
+    /// completion or halt for a full horizon. The run ends in a structured
+    /// [`crate::FailureReport`] right after this event.
+    WatchdogFired {
+        /// When.
+        at: Cycle,
+        /// The stalled core.
+        core: usize,
+    },
 }
 
 impl TraceEvent {
@@ -155,7 +176,9 @@ impl TraceEvent {
             | TraceEvent::ValStallBegin { at, .. }
             | TraceEvent::ValStallEnd { at, .. }
             | TraceEvent::VsbInsert { at, .. }
-            | TraceEvent::VsbEvict { at, .. } => *at,
+            | TraceEvent::VsbEvict { at, .. }
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::WatchdogFired { at, .. } => *at,
         }
     }
 
@@ -173,7 +196,9 @@ impl TraceEvent {
             | TraceEvent::ValStallBegin { core, .. }
             | TraceEvent::ValStallEnd { core, .. }
             | TraceEvent::VsbInsert { core, .. }
-            | TraceEvent::VsbEvict { core, .. } => Some(*core),
+            | TraceEvent::VsbEvict { core, .. }
+            | TraceEvent::FaultInjected { core, .. }
+            | TraceEvent::WatchdogFired { core, .. } => Some(*core),
             TraceEvent::Forward { from, .. } => Some(*from),
             TraceEvent::NocSend { .. } => None,
         }
@@ -235,6 +260,12 @@ impl fmt::Display for TraceEvent {
             ),
             TraceEvent::VsbEvict { at, core, line } => {
                 write!(f, "[{at:>8}] core{core} vsb-evict {line}")
+            }
+            TraceEvent::FaultInjected { at, core, kind } => {
+                write!(f, "[{at:>8}] core{core} fault-injected {kind}")
+            }
+            TraceEvent::WatchdogFired { at, core } => {
+                write!(f, "[{at:>8}] core{core} watchdog-fired")
             }
         }
     }

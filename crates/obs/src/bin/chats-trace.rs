@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! chats-trace record --workload W [--system S] [--threads N] [--seed N]
-//!                    [--paper] --out trace.jsonl
+//!                    [--paper] [--faults PLAN] --out trace.jsonl
 //! chats-trace report --trace trace.jsonl [--cycles N]
 //! chats-trace export --trace trace.jsonl --out trace.json [--cycles N]
 //! ```
@@ -14,7 +14,7 @@
 
 use chats_core::{HtmSystem, PolicyConfig};
 use chats_obs::{chrome_trace, read_jsonl_file, text_report, JsonlSink, ProfileMeta, Timeline};
-use chats_workloads::{registry, run_workload_traced, RunConfig};
+use chats_workloads::{registry, run_workload_traced, FaultPlan, RunConfig};
 use serde::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -33,12 +33,16 @@ options (record):
   --threads N          thread count (default: machine core count)
   --seed N             root seed (default 0xC4A75)
   --paper              16-core paper configuration (default: 4-core quick test)
+  --faults PLAN        install a fault plan: a shipped name (lossy-noc,
+                       abort-storm, validation-stress) or a JSON file
   --out PATH           trace output path (JSON lines); required
 
 options (report/export):
   --trace PATH         recorded trace (required)
   --cycles N           total-cycle horizon override (default: the
                        <trace>.meta.json sidecar, else the last event time)
+  --strict             (report) exit nonzero when the recording sink
+                       dropped events — the trace is incomplete
   --out PATH           export target (required for export)";
 
 fn parse_system(s: &str) -> Result<HtmSystem, String> {
@@ -60,9 +64,11 @@ struct Args {
     threads: Option<usize>,
     seed: Option<u64>,
     paper: bool,
+    faults: Option<String>,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
     cycles: Option<u64>,
+    strict: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -75,9 +81,11 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         seed: None,
         paper: false,
+        faults: None,
         out: None,
         trace: None,
         cycles: None,
+        strict: false,
     };
     while let Some(arg) = argv.next() {
         let mut value = |what: &str| argv.next().ok_or_else(|| format!("{what} needs a value"));
@@ -87,9 +95,11 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => args.threads = Some(parse_num(&value("--threads")?, "--threads")?),
             "--seed" => args.seed = Some(parse_num(&value("--seed")?, "--seed")?),
             "--paper" => args.paper = true,
+            "--faults" => args.faults = Some(value("--faults")?),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--cycles" => args.cycles = Some(parse_num(&value("--cycles")?, "--cycles")?),
+            "--strict" => args.strict = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -150,6 +160,13 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     if let Some(s) = args.seed {
         cfg.seed = s;
     }
+    if let Some(spec) = &args.faults {
+        let plan = FaultPlan::shipped()
+            .into_iter()
+            .find(|p| &p.name == spec)
+            .map_or_else(|| FaultPlan::load(Path::new(spec)), Ok)?;
+        cfg = cfg.with_faults(plan);
+    }
     let policy = PolicyConfig::for_system(args.system);
     let sink =
         JsonlSink::create(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
@@ -190,12 +207,15 @@ fn cmd_record(args: &Args) -> Result<(), String> {
 }
 
 /// Loads a trace and resolves its total-cycle horizon: explicit flag,
-/// then meta sidecar, then the last event timestamp.
-fn load_timeline(args: &Args) -> Result<(Timeline, ProfileMeta), String> {
+/// then meta sidecar, then the last event timestamp. The third element
+/// is the recorder's dropped-event counter from the sidecar (0 when no
+/// sidecar exists).
+fn load_timeline(args: &Args) -> Result<(Timeline, ProfileMeta, u64), String> {
     let path = args.trace.as_deref().ok_or("missing --trace")?;
     let events = read_jsonl_file(path)?;
     let mut meta = ProfileMeta::default();
     let mut cycles = args.cycles;
+    let mut dropped = 0;
     let mp = meta_path(path);
     if let Ok(text) = std::fs::read_to_string(&mp) {
         let v = Value::from_json(&text).map_err(|e| format!("{}: {e}", mp.display()))?;
@@ -211,6 +231,7 @@ fn load_timeline(args: &Args) -> Result<(Timeline, ProfileMeta), String> {
             }
             meta.threads = m.get("threads").and_then(Value::as_u64).unwrap_or(0) as usize;
             meta.seed = m.get("seed").and_then(Value::as_u64).unwrap_or(0);
+            dropped = m.get("dropped_events").and_then(Value::as_u64).unwrap_or(0);
         }
     }
     let horizon = cycles.unwrap_or_else(|| {
@@ -227,18 +248,27 @@ fn load_timeline(args: &Args) -> Result<(Timeline, ProfileMeta), String> {
             .max()
             .unwrap_or(0)
     });
-    Ok((Timeline::rebuild(&events, horizon), meta))
+    Ok((Timeline::rebuild(&events, horizon), meta, dropped))
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let (tl, _) = load_timeline(args)?;
+    let (tl, _, dropped) = load_timeline(args)?;
     print!("{}", text_report(&tl));
+    if dropped > 0 {
+        eprintln!(
+            "chats-trace: WARNING: the recording sink dropped {dropped} event(s); \
+             this report is built from an INCOMPLETE trace"
+        );
+        if args.strict {
+            return Err(format!("--strict: {dropped} dropped event(s)"));
+        }
+    }
     Ok(())
 }
 
 fn cmd_export(args: &Args) -> Result<(), String> {
     let out = args.out.as_deref().ok_or("export needs --out")?;
-    let (tl, _) = load_timeline(args)?;
+    let (tl, _, _) = load_timeline(args)?;
     let v = chrome_trace(&tl);
     std::fs::write(out, v.to_json()).map_err(|e| format!("{}: {e}", out.display()))?;
     println!(

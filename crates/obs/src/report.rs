@@ -103,6 +103,26 @@ pub fn text_report(tl: &Timeline) -> String {
         tl.noc.messages, tl.noc.flits, tl.noc.transit_cycles, tl.noc.queueing_cycles
     );
 
+    if !tl.faults.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "faults: {} injection(s), {} watchdog firing(s)",
+            tl.faults.total(),
+            tl.faults.watchdog.len()
+        );
+        for (kind, n) in &tl.faults.injections {
+            let _ = writeln!(out, "  {kind:<17} {n}");
+        }
+        for (at, core) in &tl.faults.watchdog {
+            let _ = writeln!(
+                out,
+                "  watchdog fired at cycle {} (core {core} stalled)",
+                at.0
+            );
+        }
+    }
+
     let aborted_with_forwards = tl
         .cores
         .iter()
@@ -141,5 +161,41 @@ mod tests {
         assert!(r.contains("useful"), "{r}");
         assert!(r.contains("run: 20 cycles"), "{r}");
         assert!(r.contains("noc: 0 messages"), "{r}");
+        assert!(
+            !r.contains("faults:"),
+            "fault-free report has no section: {r}"
+        );
+    }
+
+    #[test]
+    fn report_surfaces_fault_activity() {
+        let events = vec![
+            TraceEvent::TxBegin {
+                at: Cycle(0),
+                core: 0,
+            },
+            TraceEvent::FaultInjected {
+                at: Cycle(3),
+                core: 0,
+                kind: chats_machine::FaultKind::Delay,
+            },
+            TraceEvent::FaultInjected {
+                at: Cycle(5),
+                core: 0,
+                kind: chats_machine::FaultKind::Delay,
+            },
+            TraceEvent::WatchdogFired {
+                at: Cycle(18),
+                core: 0,
+            },
+        ];
+        let tl = Timeline::rebuild(&events, 20);
+        let r = text_report(&tl);
+        assert!(
+            r.contains("faults: 2 injection(s), 1 watchdog firing(s)"),
+            "{r}"
+        );
+        assert!(r.contains("delay"), "{r}");
+        assert!(r.contains("watchdog fired at cycle 18"), "{r}");
     }
 }

@@ -149,6 +149,31 @@ pub struct NocUsage {
     pub queueing_cycles: u64,
 }
 
+/// Fault-injection and watchdog activity observed in the stream. Empty
+/// for fault-free runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultActivity {
+    /// Injection counts keyed by fault-kind label (e.g. `"delay"`,
+    /// `"spurious-abort"`).
+    pub injections: BTreeMap<&'static str, u64>,
+    /// Watchdog firings as `(cycle, starved core)`.
+    pub watchdog: Vec<(Cycle, usize)>,
+}
+
+impl FaultActivity {
+    /// Total injections across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.injections.values().sum()
+    }
+
+    /// `true` when the run saw no injections and no watchdog firings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty() && self.watchdog.is_empty()
+    }
+}
+
 /// The reconstructed run: per-core timelines plus run-wide analytics.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
@@ -158,6 +183,8 @@ pub struct Timeline {
     pub chains: ChainStats,
     /// Interconnect usage.
     pub noc: NocUsage,
+    /// Fault-injection activity.
+    pub faults: FaultActivity,
     /// Total simulated cycles (the horizon every core is accounted to).
     pub total_cycles: u64,
 }
@@ -311,6 +338,12 @@ impl Timeline {
                     if let Some(a) = s.open_attempt.as_mut() {
                         a.evictions += 1;
                     }
+                }
+                TraceEvent::FaultInjected { kind, .. } => {
+                    *tl.faults.injections.entry(kind.label()).or_insert(0) += 1;
+                }
+                TraceEvent::WatchdogFired { at, core } => {
+                    tl.faults.watchdog.push((*at, *core));
                 }
             }
         }

@@ -3,8 +3,8 @@
 //! ```text
 //! chats-run list [SET...] [--smoke] [--filter S]
 //! chats-run run  [SET...] [--jobs N] [--filter S] [--no-cache] [--smoke]
-//!                [--timeout-secs N] [--retries N] [--verify-determinism]
-//!                [--cache-dir D] [--runs-dir D] [--quiet]
+//!                [--timeout N] [--retries N] [--verify-determinism]
+//!                [--faults PLAN.json] [--cache-dir D] [--runs-dir D] [--quiet]
 //! chats-run clean [--cache-dir D] [--runs-dir D] [--runs]
 //! ```
 //!
@@ -36,9 +36,12 @@ options (run):
   --filter S                keep only jobs whose label contains S
   --no-cache                ignore and do not write the disk cache
   --smoke                   quick-test scale: 4 cores, atomicity oracle on
-  --timeout-secs N          per-attempt wall-clock budget (default 900)
+  --timeout N               per-attempt wall-clock budget in seconds
+                            (default 900; --timeout-secs is an alias)
   --retries N               extra attempts after a panic/timeout (default 1)
   --verify-determinism      run every executed job twice, demand identical stats
+  --faults PLAN.json        install the fault plan on every job (the plan
+                            hash joins each job's cache identity)
   --cache-dir D             cache directory (default target/chats-cache)
   --runs-dir D              manifest directory (default target/chats-runs)
   --profile LABEL           re-run the job matching LABEL with tracing and
@@ -59,6 +62,7 @@ struct Args {
     timeout_secs: Option<u64>,
     retries: Option<u32>,
     verify_determinism: bool,
+    faults: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     runs_dir: Option<PathBuf>,
     profile: Option<String>,
@@ -79,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_secs: None,
         retries: None,
         verify_determinism: false,
+        faults: None,
         cache_dir: None,
         runs_dir: None,
         profile: None,
@@ -92,10 +97,11 @@ fn parse_args() -> Result<Args, String> {
             "--filter" => args.filter = Some(value("--filter")?),
             "--no-cache" => args.no_cache = true,
             "--smoke" => args.smoke = true,
-            "--timeout-secs" => {
-                args.timeout_secs = Some(parse_num(&value("--timeout-secs")?, "--timeout-secs")?);
+            "--timeout" | "--timeout-secs" => {
+                args.timeout_secs = Some(parse_num(&value(&arg)?, &arg)?);
             }
             "--retries" => args.retries = Some(parse_num(&value("--retries")?, "--retries")?),
+            "--faults" => args.faults = Some(PathBuf::from(value("--faults")?)),
             "--verify-determinism" => args.verify_determinism = true,
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--runs-dir" => args.runs_dir = Some(PathBuf::from(value("--runs-dir")?)),
@@ -155,6 +161,10 @@ fn build_set(
     let mut set = experiments::union(ids.iter().map(String::as_str), scale)?;
     if let Some(needle) = &args.filter {
         set.retain_matching(needle);
+    }
+    if let Some(path) = &args.faults {
+        let plan = chats_workloads::FaultPlan::load(path)?;
+        set.apply_faults(&plan);
     }
     Ok((set, ids))
 }

@@ -9,7 +9,7 @@
 use crate::hash::fnv1a_64;
 use chats_core::{HtmSystem, PolicyConfig};
 use chats_stats::RunStats;
-use chats_workloads::{registry, run_workload, RunConfig};
+use chats_workloads::{registry, run_workload_partial, FaultPlan, RunConfig, RunFailure};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -53,7 +53,7 @@ impl JobSpec {
     /// field that can change the simulation's outcome is included.
     #[must_use]
     pub fn canonical(&self) -> String {
-        format!(
+        let mut canon = format!(
             "fmt={}|wl={}|policy={:?}|system={:?}|tuning={:?}|threads={}|seed={}|max_cycles={}",
             FORMAT_VERSION,
             self.workload,
@@ -63,7 +63,14 @@ impl JobSpec {
             self.config.threads,
             self.config.seed,
             self.config.max_cycles,
-        )
+        );
+        // Appended only when a plan is present, so every fault-free job
+        // keeps the id (and cache entry) it had before fault injection
+        // existed.
+        if let Some(plan) = &self.config.faults {
+            canon.push_str(&format!("|faults={:016x}", plan.hash()));
+        }
+        canon
     }
 
     /// The content-hash identity of this job.
@@ -112,6 +119,9 @@ impl JobSpec {
         if self.config.threads != self.config.system.core.cores {
             label.push_str(&format!(":t{}", self.config.threads));
         }
+        if let Some(plan) = &self.config.faults {
+            label.push_str(&format!(":faults-{}", plan.name));
+        }
         label
     }
 
@@ -122,9 +132,26 @@ impl JobSpec {
     /// Returns an error string for an unknown workload name, a
     /// simulation timeout/deadlock, or an invariant violation.
     pub fn execute(&self) -> Result<RunStats, String> {
-        let workload = registry::by_name(&self.workload)
-            .ok_or_else(|| format!("unknown workload '{}'", self.workload))?;
-        run_workload(workload.as_ref(), self.policy, &self.config).map(|out| out.stats)
+        self.execute_partial().map_err(|fail| fail.message)
+    }
+
+    /// Like [`JobSpec::execute`], but failures carry whatever statistics
+    /// the machine had gathered when it stopped (see
+    /// [`chats_workloads::RunFailure`]), so timed-out jobs can be
+    /// reported with partial progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunFailure`] for an unknown workload name, a
+    /// simulation timeout/deadlock/watchdog stall, or an invariant
+    /// violation.
+    pub fn execute_partial(&self) -> Result<RunStats, RunFailure> {
+        let workload = registry::by_name(&self.workload).ok_or_else(|| RunFailure {
+            message: format!("unknown workload '{}'", self.workload),
+            partial: None,
+            timed_out: false,
+        })?;
+        run_workload_partial(workload.as_ref(), self.policy, &self.config).map(|out| out.stats)
     }
 }
 
@@ -186,6 +213,16 @@ impl JobSet {
         self.jobs.retain(|j| j.label().contains(needle));
         self.ids = self.jobs.iter().map(|j| j.id().0).collect();
     }
+
+    /// Installs `plan` on every job (replacing any plan already present)
+    /// and rehashes the set — faulted jobs have their own identities and
+    /// cache entries, disjoint from the fault-free ones.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        for job in &mut self.jobs {
+            job.config.faults = Some(plan.clone());
+        }
+        self.ids = self.jobs.iter().map(|j| j.id().0).collect();
+    }
 }
 
 impl FromIterator<JobSpec> for JobSet {
@@ -234,6 +271,46 @@ mod tests {
         let mut budget = base.clone();
         budget.config.max_cycles /= 2;
         assert_ne!(base.id(), budget.id());
+    }
+
+    #[test]
+    fn fault_plan_joins_the_id_without_disturbing_plain_jobs() {
+        use chats_workloads::FaultPlan;
+        let base = spec("cadd", HtmSystem::Chats);
+        assert!(
+            !base.canonical().contains("faults"),
+            "fault-free jobs must keep their pre-fault-injection identity"
+        );
+        let mut faulted = base.clone();
+        faulted.config.faults = Some(FaultPlan::lossy_noc());
+        assert_ne!(base.id(), faulted.id());
+        assert!(faulted.label().ends_with(":faults-lossy-noc"));
+
+        let mut other = base.clone();
+        other.config.faults = Some(FaultPlan::abort_storm());
+        assert_ne!(faulted.id(), other.id(), "distinct plans, distinct ids");
+    }
+
+    #[test]
+    fn apply_faults_rehashes_the_set() {
+        use chats_workloads::FaultPlan;
+        let mut set: JobSet = [
+            spec("cadd", HtmSystem::Chats),
+            spec("cadd", HtmSystem::Power),
+        ]
+        .into_iter()
+        .collect();
+        let plain_ids: Vec<JobId> = set.iter().map(JobSpec::id).collect();
+        set.apply_faults(&FaultPlan::lossy_noc());
+        assert_eq!(set.len(), 2);
+        for (job, plain) in set.iter().zip(plain_ids) {
+            assert_ne!(job.id(), plain);
+        }
+        // The same faulted job is now a duplicate; its plain twin is not.
+        let mut faulted = spec("cadd", HtmSystem::Chats);
+        faulted.config.faults = Some(FaultPlan::lossy_noc());
+        assert!(!set.push(faulted));
+        assert!(set.push(spec("cadd", HtmSystem::Chats)));
     }
 
     #[test]

@@ -112,6 +112,17 @@ pub fn manifest_json_with_profile(
             if let Some(err) = r.outcome.error() {
                 m.insert("error".to_string(), Json::Str(err.to_string()));
             }
+            // Timed-out jobs are first-class: a status field plus the
+            // statistics the simulation had gathered when it stopped.
+            if matches!(r.outcome, crate::pool::JobOutcome::TimedOut { .. }) {
+                m.insert("status".to_string(), Json::Str("timeout".to_string()));
+            }
+            if let Some(stats) = r.outcome.partial_stats() {
+                m.insert(
+                    "partial_stats".to_string(),
+                    crate::cache::stats_to_json(stats),
+                );
+            }
             Json::Obj(m)
         })
         .collect();
@@ -281,6 +292,21 @@ mod tests {
                     millis: 30,
                     worker: 0,
                 },
+                JobRecord {
+                    id: "00000000000000dd".into(),
+                    label: "yada/chats".into(),
+                    outcome: JobOutcome::TimedOut {
+                        message: "yada under Chats: timed out at cycle 1000".into(),
+                        partial: Some(Box::new(chats_stats::RunStats {
+                            cycles: 1000,
+                            commits: 7,
+                            ..chats_stats::RunStats::default()
+                        })),
+                    },
+                    attempts: 1,
+                    millis: 40,
+                    worker: 1,
+                },
             ],
             results: HashMap::new(),
             workers: 2,
@@ -295,18 +321,28 @@ mod tests {
         assert_eq!(m.get("run_id").and_then(Json::as_str), Some("test-run"));
         assert_eq!(m.get("scale").and_then(Json::as_str), Some("quick"));
         let jobs = m.get("jobs").unwrap();
-        assert_eq!(jobs.get("total").and_then(Json::as_u64), Some(3));
+        assert_eq!(jobs.get("total").and_then(Json::as_u64), Some(4));
         assert_eq!(jobs.get("executed").and_then(Json::as_u64), Some(1));
         assert_eq!(jobs.get("cached").and_then(Json::as_u64), Some(1));
         assert_eq!(jobs.get("failed").and_then(Json::as_u64), Some(1));
+        assert_eq!(jobs.get("timed_out").and_then(Json::as_u64), Some(1));
         assert_eq!(jobs.get("retries").and_then(Json::as_u64), Some(1));
         let cache = m.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
-        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(2));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(3));
         let per_job = m.get("per_job").and_then(Json::as_arr).unwrap();
-        assert_eq!(per_job.len(), 3);
+        assert_eq!(per_job.len(), 4);
         assert_eq!(per_job[2].get("error").and_then(Json::as_str), Some("boom"));
         assert!(per_job[0].get("error").is_none());
+        assert!(per_job[0].get("status").is_none());
+        // A timed-out job carries a status and its partial statistics.
+        assert_eq!(
+            per_job[3].get("status").and_then(Json::as_str),
+            Some("timeout")
+        );
+        let partial = per_job[3].get("partial_stats").expect("partial stats");
+        assert_eq!(partial.get("cycles").and_then(Json::as_u64), Some(1000));
+        assert_eq!(partial.get("commits").and_then(Json::as_u64), Some(7));
         // The document round-trips through the parser.
         assert_eq!(Json::parse(&m.to_pretty()).unwrap(), m);
     }
@@ -316,7 +352,7 @@ mod tests {
         let text = summary_table(&sample_report()).to_string();
         assert!(text.contains("parallel speedup"), "{text}");
         assert!(text.contains("cache hit rate"), "{text}");
-        assert!(text.contains("33%"), "{text}");
+        assert!(text.contains("25%"), "{text}");
     }
 
     #[test]

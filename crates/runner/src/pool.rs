@@ -65,8 +65,17 @@ pub enum JobOutcome {
     /// Simulation error or exhausted retries after panics; the message
     /// explains.
     Failed(String),
-    /// Every attempt exceeded the wall-clock budget.
-    TimedOut,
+    /// The job ran out of time: either the simulation's own cycle budget
+    /// tripped (deterministic — carries the partial statistics gathered
+    /// up to that point) or every attempt exceeded the wall-clock budget
+    /// (the attempt thread was abandoned, so no statistics survive).
+    TimedOut {
+        /// What ran out and when.
+        message: String,
+        /// Statistics at the moment the cycle budget tripped; `None` for
+        /// wall-clock timeouts. Boxed to keep the variant small.
+        partial: Option<Box<RunStats>>,
+    },
     /// The determinism gate saw two runs of the same job disagree; the
     /// message names the first diverging counter.
     DeterminismViolation(String),
@@ -80,7 +89,7 @@ impl JobOutcome {
             JobOutcome::Cached => "cached",
             JobOutcome::Executed => "executed",
             JobOutcome::Failed(_) => "failed",
-            JobOutcome::TimedOut => "timed-out",
+            JobOutcome::TimedOut { .. } => "timed-out",
             JobOutcome::DeterminismViolation(_) => "determinism-violation",
         }
     }
@@ -95,7 +104,21 @@ impl JobOutcome {
     #[must_use]
     pub fn error(&self) -> Option<&str> {
         match self {
-            JobOutcome::Failed(e) | JobOutcome::DeterminismViolation(e) => Some(e),
+            JobOutcome::Failed(e)
+            | JobOutcome::DeterminismViolation(e)
+            | JobOutcome::TimedOut { message: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Partial statistics recovered from a timed-out job, if any.
+    #[must_use]
+    pub fn partial_stats(&self) -> Option<&RunStats> {
+        match self {
+            JobOutcome::TimedOut {
+                partial: Some(stats),
+                ..
+            } => Some(stats),
             _ => None,
         }
     }
@@ -186,7 +209,15 @@ impl RunReport {
 enum Attempt {
     Success(RunStats),
     SimError(String),
+    /// The simulation's own cycle budget tripped — deterministic, so
+    /// retrying is pointless, but the machine's partial statistics
+    /// survive.
+    SimTimeout {
+        message: String,
+        partial: Option<Box<RunStats>>,
+    },
     Panicked(String),
+    /// Wall-clock budget exceeded; the attempt thread was abandoned.
     TimedOut,
 }
 
@@ -345,6 +376,9 @@ impl Runner {
                     return (JobOutcome::Executed, attempts, Some(stats));
                 }
                 Attempt::SimError(e) => return (JobOutcome::Failed(e), attempts, None),
+                Attempt::SimTimeout { message, partial } => {
+                    return (JobOutcome::TimedOut { message, partial }, attempts, None)
+                }
                 Attempt::Panicked(msg) => {
                     if attempts >= self.cfg.max_attempts {
                         return (
@@ -358,7 +392,17 @@ impl Runner {
                 }
                 Attempt::TimedOut => {
                     if attempts >= self.cfg.max_attempts {
-                        return (JobOutcome::TimedOut, attempts, None);
+                        return (
+                            JobOutcome::TimedOut {
+                                message: format!(
+                                    "every attempt exceeded the {}s wall-clock budget",
+                                    self.cfg.timeout.as_secs()
+                                ),
+                                partial: None,
+                            },
+                            attempts,
+                            None,
+                        );
                     }
                 }
             }
@@ -372,6 +416,7 @@ impl Runner {
             Attempt::Success(second) if &second == first => None,
             Attempt::Success(second) => Some(first_divergence(first, &second)),
             Attempt::SimError(e) => Some(format!("re-run errored: {e}")),
+            Attempt::SimTimeout { message, .. } => Some(format!("re-run timed out: {message}")),
             Attempt::Panicked(msg) => Some(format!("re-run panicked: {msg}")),
             Attempt::TimedOut => Some("re-run timed out".to_string()),
         }
@@ -405,7 +450,7 @@ fn attempt_once(spec: &JobSpec, timeout: Duration) -> Attempt {
     let spawned = thread::Builder::new()
         .name(format!("chats-job-{}", owned.id()))
         .spawn(move || {
-            let result = panic::catch_unwind(AssertUnwindSafe(|| owned.execute()));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| owned.execute_partial()));
             let _ = tx.send(result);
         });
     let handle = match spawned {
@@ -417,7 +462,11 @@ fn attempt_once(spec: &JobSpec, timeout: Duration) -> Attempt {
             let _ = handle.join();
             match run {
                 Ok(Ok(stats)) => Attempt::Success(stats),
-                Ok(Err(e)) => Attempt::SimError(e),
+                Ok(Err(fail)) if fail.timed_out => Attempt::SimTimeout {
+                    message: fail.message,
+                    partial: fail.partial,
+                },
+                Ok(Err(fail)) => Attempt::SimError(fail.message),
                 Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
             }
         }
@@ -500,6 +549,25 @@ mod tests {
         // Second resolution of the same job is a memo hit.
         let (outcome, _, _) = r.resolve(&spec);
         assert_eq!(outcome, JobOutcome::Cached);
+    }
+
+    #[test]
+    fn cycle_budget_timeout_keeps_partial_stats_and_never_retries() {
+        let dir = tmp_dir("simtimeout");
+        let r = quiet_runner(&dir, false);
+        let mut cfg = RunConfig::quick_test();
+        cfg.max_cycles = 50; // far too small for any workload to finish
+        let spec = JobSpec::new("cadd", PolicyConfig::for_system(HtmSystem::Chats), cfg);
+        let (outcome, attempts, stats) = r.resolve(&spec);
+        assert_eq!(outcome.label(), "timed-out");
+        assert_eq!(
+            attempts, 1,
+            "a cycle-budget timeout is deterministic; retrying only burns time"
+        );
+        assert!(stats.is_none(), "timeouts never enter the result set");
+        let partial = outcome.partial_stats().expect("partial stats survive");
+        assert!(partial.cycles >= 50, "cycles records where the run stopped");
+        assert!(outcome.error().unwrap().contains("timed out"));
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub mod replay;
 pub mod spec;
 
 pub use replay::{ThreadTrace, TraceOp, TraceWorkload};
+// Re-exported so runner/check can attach fault plans without a direct
+// `chats-machine` (or `chats-faults`) dependency.
+pub use chats_machine::FaultPlan;
 pub use spec::{
-    run_workload, run_workload_traced, RunConfig, RunOutput, ThreadProgram, Workload, WorkloadSetup,
+    run_workload, run_workload_partial, run_workload_traced, RunConfig, RunFailure, RunOutput,
+    ThreadProgram, Workload, WorkloadSetup,
 };

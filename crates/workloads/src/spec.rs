@@ -1,7 +1,7 @@
 //! The workload abstraction and the standard runner.
 
 use chats_core::PolicyConfig;
-use chats_machine::{Machine, SimError, TraceSink, Tuning};
+use chats_machine::{FaultPlan, Machine, SimError, TraceSink, Tuning};
 use chats_mem::Addr;
 use chats_sim::{SimRng, SystemConfig};
 use chats_stats::RunStats;
@@ -59,6 +59,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Cycle budget.
     pub max_cycles: u64,
+    /// Fault plan installed before the run (`None`, the default, leaves
+    /// the machine bit-identical to one that never heard of faults).
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -72,6 +75,7 @@ impl RunConfig {
             tuning: Tuning::default(),
             seed: 0xC4A75,
             max_cycles: 2_000_000_000,
+            faults: None,
         }
     }
 
@@ -90,6 +94,7 @@ impl RunConfig {
             },
             seed: 0xC4A75,
             max_cycles: 500_000_000,
+            faults: None,
         }
     }
 
@@ -99,6 +104,13 @@ impl RunConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style fault-plan override.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> RunConfig {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// Result of one workload run.
@@ -106,6 +118,27 @@ impl RunConfig {
 pub struct RunOutput {
     /// The statistics gathered by the machine.
     pub stats: RunStats,
+}
+
+/// A failed workload run: the reason, plus whatever statistics the
+/// machine had gathered when it stopped — so a timed-out or stalled job
+/// can still be reported with its partial progress instead of nothing.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Human-readable cause (workload, system, error).
+    pub message: String,
+    /// Statistics at the moment of failure (`cycles` is set to the cycle
+    /// the run stopped at). Boxed to keep the `Err` variant small.
+    pub partial: Option<Box<RunStats>>,
+    /// The run exceeded its cycle budget (as opposed to deadlocking,
+    /// tripping the watchdog, or violating an invariant).
+    pub timed_out: bool,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
 }
 
 /// Instantiates `workload`, runs it under `policy`, checks its invariant
@@ -120,6 +153,23 @@ pub fn run_workload(
     policy: PolicyConfig,
     cfg: &RunConfig,
 ) -> Result<RunOutput, String> {
+    run_machine(workload, policy, cfg, None)
+        .map(|(out, _)| out)
+        .map_err(|fail| fail.message)
+}
+
+/// Like [`run_workload`], but failures keep their partial statistics
+/// (see [`RunFailure`]).
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] on simulation timeout/deadlock/watchdog stall
+/// or invariant violation.
+pub fn run_workload_partial(
+    workload: &dyn Workload,
+    policy: PolicyConfig,
+    cfg: &RunConfig,
+) -> Result<RunOutput, RunFailure> {
     run_machine(workload, policy, cfg, None).map(|(out, _)| out)
 }
 
@@ -139,6 +189,7 @@ pub fn run_workload_traced(
 ) -> Result<(RunOutput, Box<dyn TraceSink>), String> {
     run_machine(workload, policy, cfg, Some(sink))
         .map(|(out, sink)| (out, sink.expect("machine returns the installed sink")))
+        .map_err(|fail| fail.message)
 }
 
 fn run_machine(
@@ -146,7 +197,7 @@ fn run_machine(
     policy: PolicyConfig,
     cfg: &RunConfig,
     sink: Option<Box<dyn TraceSink>>,
-) -> Result<(RunOutput, Option<Box<dyn TraceSink>>), String> {
+) -> Result<(RunOutput, Option<Box<dyn TraceSink>>), RunFailure> {
     let mut sys = cfg.system;
     sys.core.cores = cfg.threads;
     let mut rng = SimRng::seed_from(cfg.seed);
@@ -160,6 +211,9 @@ fn run_machine(
     if let Some(sink) = sink {
         m.set_trace_sink(sink);
     }
+    if let Some(plan) = &cfg.faults {
+        m.set_fault_plan(plan);
+    }
     for (addr, v) in &setup.init {
         m.store_init(*addr, *v);
     }
@@ -172,27 +226,42 @@ fn run_machine(
     }
     let stats = match m.run(cfg.max_cycles) {
         Ok(s) => s,
-        Err(SimError::Timeout { at_cycle }) => {
-            return Err(format!(
-                "{} under {:?}: timed out at cycle {at_cycle}",
-                workload.name(),
-                policy.system
-            ))
-        }
         Err(e) => {
-            return Err(format!(
-                "{} under {:?}: {e}",
-                workload.name(),
-                policy.system
-            ))
+            let (message, stopped_at) = match &e {
+                SimError::Timeout { at_cycle } => (
+                    format!(
+                        "{} under {:?}: timed out at cycle {at_cycle}",
+                        workload.name(),
+                        policy.system
+                    ),
+                    *at_cycle,
+                ),
+                SimError::Deadlock { at_cycle, .. } => (
+                    format!("{} under {:?}: {e}", workload.name(), policy.system),
+                    *at_cycle,
+                ),
+                SimError::WatchdogStall { report } => (
+                    format!("{} under {:?}: {e}", workload.name(), policy.system),
+                    report.at_cycle,
+                ),
+            };
+            let mut partial = m.stats().clone();
+            partial.cycles = stopped_at;
+            return Err(RunFailure {
+                message,
+                partial: Some(Box::new(partial)),
+                timed_out: matches!(e, SimError::Timeout { .. }),
+            });
         }
     };
-    (setup.checker)(&m).map_err(|e| {
-        format!(
+    (setup.checker)(&m).map_err(|e| RunFailure {
+        message: format!(
             "{} under {:?}: transactional semantics violated: {e}",
             workload.name(),
             policy.system
-        )
+        ),
+        partial: Some(Box::new(stats.clone())),
+        timed_out: false,
     })?;
     let sink = m.take_trace_sink();
     Ok((RunOutput { stats }, sink))
