@@ -1,0 +1,515 @@
+//! The simulator-engineering perf baseline behind `chats-bench baseline`.
+//!
+//! Every figure sweep, schedule exploration and fault campaign funnels
+//! through the same single-run hot path (event queue pop/push, dispatch,
+//! hot-map lookups), so this module measures exactly that: raw simulator
+//! throughput — **events/sec and cycles/sec of simulated work per second
+//! of wall clock** — on a fixed workload mix at the paper's 16-core
+//! configuration, plus the process peak RSS.
+//!
+//! The measurements are written to / diffed against `BENCH_simcore.json`
+//! at the repository root, giving the repo a recorded perf trajectory:
+//! every hot-path change re-runs the mix and either moves the committed
+//! numbers forward or trips the CI regression gate (see
+//! [`check_against`]).
+
+use chats_core::{HtmSystem, PolicyConfig};
+use chats_machine::{Machine, Tuning};
+use chats_runner::Json;
+use chats_sim::SystemConfig;
+use chats_stats::RunStats;
+use chats_tvm::{Program, ProgramBuilder, Reg, Vm};
+use chats_workloads::{registry, run_workload, RunConfig};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// What a case runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// The synthetic contended-counter kernel `sim_throughput` has always
+    /// used: every thread increments random words of a small hot region,
+    /// maximizing queue and directory pressure per instruction.
+    Contended,
+    /// A registry workload by name, at paper scale.
+    Registry(&'static str),
+}
+
+/// One (workload, system) cell of the baseline mix.
+#[derive(Debug, Clone, Copy)]
+pub struct Case {
+    /// Workload half of the cell.
+    pub kind: CaseKind,
+    /// HTM system half of the cell.
+    pub system: HtmSystem,
+    /// Back-to-back runs inside one timed measurement. The registry
+    /// workloads finish in milliseconds at paper scale, so each cell
+    /// repeats its run enough times to push the timed region into the
+    /// hundreds of milliseconds, where the wall clock is trustworthy.
+    pub inner: u32,
+}
+
+impl Case {
+    /// Stable `workload/system` label used in JSON and tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let w = match self.kind {
+            CaseKind::Contended => "contended",
+            CaseKind::Registry(n) => n,
+        };
+        format!("{w}/{}", system_label(self.system))
+    }
+}
+
+fn system_label(s: HtmSystem) -> &'static str {
+    match s {
+        HtmSystem::Baseline => "baseline",
+        HtmSystem::Chats => "chats",
+        HtmSystem::Pchats => "pchats",
+        HtmSystem::Power => "power",
+        HtmSystem::NaiveRs => "naive-rs",
+        HtmSystem::LevcBeIdealized => "levc-be",
+    }
+}
+
+/// One measured cell: simulated work per second of wall clock.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `workload/system`.
+    pub name: String,
+    /// Cores simulated.
+    pub cores: usize,
+    /// Events the run dispatched (deterministic).
+    pub events: u64,
+    /// Simulated cycles to completion (deterministic).
+    pub cycles: u64,
+    /// Instructions retired (deterministic).
+    pub instructions: u64,
+    /// Best wall time over the measurement reps.
+    pub wall: Duration,
+    /// Process peak RSS in kB after the case ran (`VmHWM`; monotone over
+    /// the process lifetime, so per-case values are "peak so far").
+    pub peak_rss_kb: u64,
+}
+
+impl Measurement {
+    /// Dispatched events per wall second — the headline metric.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulated cycles per wall second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The `sim_throughput` workload mix at the paper's 16-core
+/// configuration. `quick` is the CI-smoke subset (fewer cells, fewer
+/// reps); the full mix is what `BENCH_simcore.json` records.
+#[must_use]
+pub fn workload_mix(quick: bool) -> Vec<Case> {
+    let inner = |full: u32| if quick { (full / 4).max(1) } else { full };
+    let mut mix = vec![
+        Case {
+            kind: CaseKind::Contended,
+            system: HtmSystem::Chats,
+            inner: inner(4),
+        },
+        Case {
+            kind: CaseKind::Registry("cadd"),
+            system: HtmSystem::Chats,
+            inner: inner(16),
+        },
+    ];
+    if !quick {
+        mix.extend([
+            Case {
+                kind: CaseKind::Contended,
+                system: HtmSystem::Baseline,
+                inner: 2,
+            },
+            Case {
+                kind: CaseKind::Registry("cadd"),
+                system: HtmSystem::Baseline,
+                inner: 16,
+            },
+            Case {
+                kind: CaseKind::Registry("genome"),
+                system: HtmSystem::Chats,
+                inner: 64,
+            },
+            Case {
+                kind: CaseKind::Registry("kmeans-h"),
+                system: HtmSystem::Chats,
+                inner: 16,
+            },
+        ]);
+    }
+    mix
+}
+
+/// The contended kernel: `iters` transactions of read-modify-write on a
+/// random word of an 8-line hot region, per thread.
+fn contended_program(iters: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (i, n, addr, v, bound) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4));
+    b.imm(i, 0).imm(n, iters);
+    let top = b.label();
+    b.bind(top);
+    b.tx_begin();
+    b.imm(bound, 8);
+    b.rand(addr, bound);
+    b.shli(addr, addr, 3);
+    b.load(v, addr);
+    b.addi(v, v, 1);
+    b.store(addr, v);
+    b.tx_end();
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    b.build()
+}
+
+/// Transactions per thread in the contended kernel — sized so one run is
+/// tens of milliseconds of simulation on the 16-core paper config.
+const CONTENDED_ITERS: u64 = 1000;
+
+/// Runs the case's `inner` back-to-back simulations inside one timed
+/// region and returns the summed stats plus the wall time of the whole
+/// region. Per-run counters are deterministic, so the sum is too.
+fn execute_once(case: &Case) -> (RunStats, Duration) {
+    let mut total = RunStats::default();
+    let add = |total: &mut RunStats, s: &RunStats| {
+        total.events += s.events;
+        total.cycles += s.cycles;
+        total.instructions += s.instructions;
+    };
+    match case.kind {
+        CaseKind::Contended => {
+            let sys = SystemConfig::default(); // paper Table I, 16 cores
+            let prog = contended_program(CONTENDED_ITERS);
+            let t0 = Instant::now();
+            for _ in 0..case.inner.max(1) {
+                let mut m = Machine::new(
+                    sys,
+                    PolicyConfig::for_system(case.system),
+                    Tuning::default(),
+                    3,
+                );
+                for t in 0..sys.core.cores {
+                    m.load_thread(t, Vm::new(prog.clone(), t as u64));
+                }
+                let stats = m.run(2_000_000_000).expect("contended kernel completes");
+                add(&mut total, &stats);
+            }
+            (total, t0.elapsed())
+        }
+        CaseKind::Registry(name) => {
+            let w = registry::by_name(name).expect("baseline mix names a registered workload");
+            let cfg = RunConfig::paper();
+            let t0 = Instant::now();
+            for _ in 0..case.inner.max(1) {
+                let out = run_workload(w.as_ref(), PolicyConfig::for_system(case.system), &cfg)
+                    .expect("paper-config run completes");
+                add(&mut total, &out.stats);
+            }
+            (total, t0.elapsed())
+        }
+    }
+}
+
+/// Measures one case: best wall time over `reps` runs (the minimum is the
+/// least noisy estimator for a deterministic workload).
+#[must_use]
+pub fn measure_case(case: &Case, reps: u32) -> Measurement {
+    let mut best: Option<(RunStats, Duration)> = None;
+    for _ in 0..reps.max(1) {
+        let (stats, wall) = execute_once(case);
+        if let Some((prev, best_wall)) = &best {
+            debug_assert_eq!(prev.events, stats.events, "baseline runs are deterministic");
+            if wall < *best_wall {
+                best = Some((stats, wall));
+            }
+        } else {
+            best = Some((stats, wall));
+        }
+    }
+    let (stats, wall) = best.expect("at least one rep");
+    let cores = match case.kind {
+        CaseKind::Contended => SystemConfig::default().core.cores,
+        CaseKind::Registry(_) => RunConfig::paper().threads,
+    };
+    Measurement {
+        name: case.name(),
+        cores,
+        events: stats.events,
+        cycles: stats.cycles,
+        instructions: stats.instructions,
+        wall,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Measures the whole mix.
+#[must_use]
+pub fn measure_mix(quick: bool) -> Vec<Measurement> {
+    let reps = if quick { 2 } else { 3 };
+    workload_mix(quick)
+        .iter()
+        .map(|c| measure_case(c, reps))
+        .collect()
+}
+
+/// `VmHWM` from `/proc/self/status` in kB; 0 where unavailable.
+#[must_use]
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Serializes measurements into one labelled baseline section.
+#[must_use]
+pub fn section_json(label: &str, quick: bool, runs: &[Measurement]) -> Json {
+    let mut root = BTreeMap::new();
+    root.insert("label".to_string(), Json::Str(label.to_string()));
+    root.insert(
+        "mix".to_string(),
+        Json::Str(format!(
+            "sim_throughput {} mix, 16-core paper config",
+            if quick { "quick" } else { "full" }
+        )),
+    );
+    root.insert(
+        "runs".to_string(),
+        Json::Arr(
+            runs.iter()
+                .map(|m| {
+                    let mut r = BTreeMap::new();
+                    r.insert("name".to_string(), Json::Str(m.name.clone()));
+                    r.insert("cores".to_string(), Json::U64(m.cores as u64));
+                    r.insert("events".to_string(), Json::U64(m.events));
+                    r.insert("cycles".to_string(), Json::U64(m.cycles));
+                    r.insert("instructions".to_string(), Json::U64(m.instructions));
+                    r.insert(
+                        "wall_ms".to_string(),
+                        Json::F64(m.wall.as_secs_f64() * 1000.0),
+                    );
+                    r.insert("events_per_sec".to_string(), Json::F64(m.events_per_sec()));
+                    r.insert("cycles_per_sec".to_string(), Json::F64(m.cycles_per_sec()));
+                    r.insert("peak_rss_kb".to_string(), Json::U64(m.peak_rss_kb));
+                    Json::Obj(r)
+                })
+                .collect(),
+        ),
+    );
+    Json::Obj(root)
+}
+
+/// Renders a terminal table of measurements.
+#[must_use]
+pub fn table(runs: &[Measurement]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<20} {:>8} {:>12} {:>12} {:>10} {:>14} {:>12}",
+        "workload/system", "cores", "events", "cycles", "wall ms", "events/sec", "peak RSS kB"
+    );
+    for m in runs {
+        let _ = writeln!(
+            s,
+            "{:<20} {:>8} {:>12} {:>12} {:>10.1} {:>14.0} {:>12}",
+            m.name,
+            m.cores,
+            m.events,
+            m.cycles,
+            m.wall.as_secs_f64() * 1000.0,
+            m.events_per_sec(),
+            m.peak_rss_kb
+        );
+    }
+    s
+}
+
+/// Extracts the section to gate against from a committed
+/// `BENCH_simcore.json` document: the `after` section when present
+/// (before/after trajectory layout), else the document itself (a plain
+/// section as written by `--out`).
+fn gate_section(doc: &Json) -> &Json {
+    // A dedicated "gate" section holds the regression floors: the "after"
+    // numbers are same-conditions A/B evidence (per-case best of several
+    // rounds), which host noise alone can undercut by >10%. The gate
+    // floors bake in that noise margin so the CI check trips on real
+    // regressions, not on a loaded runner.
+    doc.get("gate").or_else(|| doc.get("after")).unwrap_or(doc)
+}
+
+/// Diffs `measured` against the committed baseline document: every
+/// measured case that also appears in the baseline must reach at least
+/// `1 - tolerance` of the committed events/sec. Returns a human-readable
+/// report; `Err` when any case regresses past the gate.
+///
+/// # Errors
+///
+/// Returns the offending cases, with measured vs committed numbers.
+pub fn check_against(
+    baseline_doc: &Json,
+    measured: &[Measurement],
+    tolerance: f64,
+) -> Result<String, String> {
+    let section = gate_section(baseline_doc);
+    let Some(Json::Arr(runs)) = section.get("runs") else {
+        return Err("baseline document has no 'runs' array".to_string());
+    };
+    let committed: BTreeMap<String, f64> = runs
+        .iter()
+        .filter_map(|r| {
+            let name = r.get("name").and_then(Json::as_str)?;
+            let eps = r.get("events_per_sec").and_then(Json::as_f64)?;
+            Some((name.to_string(), eps))
+        })
+        .collect();
+    let mut report = String::new();
+    let mut failures = String::new();
+    use std::fmt::Write as _;
+    for m in measured {
+        let Some(&base) = committed.get(&m.name) else {
+            let _ = writeln!(report, "{}: not in committed baseline, skipped", m.name);
+            continue;
+        };
+        let ratio = m.events_per_sec() / base;
+        let verdict = if ratio >= 1.0 - tolerance {
+            "ok"
+        } else {
+            "REGRESSION"
+        };
+        let line = format!(
+            "{}: measured {:.0} ev/s vs committed {:.0} ev/s ({:+.1}%) {}",
+            m.name,
+            m.events_per_sec(),
+            base,
+            (ratio - 1.0) * 100.0,
+            verdict
+        );
+        let _ = writeln!(report, "{line}");
+        if verdict == "REGRESSION" {
+            let _ = writeln!(failures, "{line}");
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "events/sec regressed more than {:.0}% against the committed \
+             baseline:\n{failures}\nfull diff:\n{report}",
+            tolerance * 100.0
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(name: &str, events: u64, wall_ms: u64) -> Measurement {
+        Measurement {
+            name: name.to_string(),
+            cores: 16,
+            events,
+            cycles: events * 4,
+            instructions: events,
+            wall: Duration::from_millis(wall_ms),
+            peak_rss_kb: 1,
+        }
+    }
+
+    #[test]
+    fn mix_has_quick_subset() {
+        let quick = workload_mix(true);
+        let full = workload_mix(false);
+        assert!(quick.len() < full.len());
+        let full_names: Vec<String> = full.iter().map(Case::name).collect();
+        for c in &quick {
+            assert!(
+                full_names.contains(&c.name()),
+                "{} not in full mix",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn section_json_round_trips() {
+        let runs = vec![fake("contended/chats", 10_000, 10)];
+        let doc = section_json("test", true, &runs);
+        let back = Json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(back, doc);
+        let arr = back.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].get("events").and_then(Json::as_u64), Some(10_000u64));
+    }
+
+    #[test]
+    fn gate_accepts_within_tolerance_and_rejects_regressions() {
+        let committed = section_json("base", true, &[fake("contended/chats", 1_000_000, 1000)]);
+        // 5% slower than committed: inside a 10% gate.
+        let ok = check_against(&committed, &[fake("contended/chats", 950_000, 1000)], 0.10);
+        assert!(ok.is_ok(), "{ok:?}");
+        // 20% slower: outside the gate.
+        let bad = check_against(&committed, &[fake("contended/chats", 800_000, 1000)], 0.10);
+        let err = bad.unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        // Unknown cases are skipped, not failed.
+        let skip = check_against(&committed, &[fake("novel/chats", 1, 1000)], 0.10);
+        assert!(skip.unwrap().contains("skipped"));
+    }
+
+    #[test]
+    fn gate_prefers_after_section() {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "before".to_string(),
+            section_json("old", true, &[fake("contended/chats", 100, 1000)]),
+        );
+        root.insert(
+            "after".to_string(),
+            section_json("new", true, &[fake("contended/chats", 1_000, 1000)]),
+        );
+        let doc = Json::Obj(root);
+        // Measured matches `after`, which would fail against `before`'s
+        // stale number if the gate picked the wrong section.
+        let res = check_against(&doc, &[fake("contended/chats", 1_000, 1000)], 0.10);
+        assert!(res.is_ok(), "{res:?}");
+    }
+
+    #[test]
+    fn gate_prefers_dedicated_gate_floors() {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "after".to_string(),
+            section_json("new", true, &[fake("contended/chats", 1_000, 1000)]),
+        );
+        root.insert(
+            "gate".to_string(),
+            section_json("floor", true, &[fake("contended/chats", 700, 1000)]),
+        );
+        let doc = Json::Obj(root);
+        // 75% of the `after` number, but above the explicit gate floor.
+        let res = check_against(&doc, &[fake("contended/chats", 750, 1000)], 0.10);
+        assert!(res.is_ok(), "{res:?}");
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! `chats-bench` — simulator-engineering benchmarks.
+//!
+//! ```text
+//! chats-bench baseline [--quick] [--out PATH] [--check PATH] [--tolerance 0.10] [--label NAME]
+//! ```
+//!
+//! `baseline` measures raw simulator throughput (events/sec, cycles/sec,
+//! peak RSS) on the fixed `sim_throughput` workload mix at the paper's
+//! 16-core configuration.
+//!
+//! * `--quick`      CI-smoke subset: fewer cells, fewer reps.
+//! * `--out PATH`   write the measured section as JSON.
+//! * `--check PATH` gate against a committed `BENCH_simcore.json`
+//!   (its `after` section when present): exit non-zero when any shared
+//!   case loses more than `--tolerance` (default 0.10) of its committed
+//!   events/sec.
+//! * `--label NAME` label recorded in the JSON section (default
+//!   `measured`).
+
+use chats_bench::baseline;
+use chats_runner::Json;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: chats-bench baseline [--quick] [--out PATH] [--check PATH] \
+         [--tolerance F] [--label NAME]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("baseline") {
+        return usage();
+    }
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.10f64;
+    let mut label = "measured".to_string();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage(),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage(),
+            },
+            "--tolerance" => match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => return usage(),
+            },
+            "--label" => match it.next() {
+                Some(l) => label = l.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    eprintln!(
+        "chats-bench baseline: measuring {} mix ...",
+        if quick { "quick" } else { "full" }
+    );
+    let runs = baseline::measure_mix(quick);
+    print!("{}", baseline::table(&runs));
+
+    if let Some(path) = out {
+        let doc = baseline::section_json(&label, quick, &runs);
+        if let Err(e) = std::fs::write(&path, doc.to_pretty() + "\n") {
+            eprintln!("chats-bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("chats-bench: wrote {path}");
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("chats-bench: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("chats-bench: cannot parse baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match baseline::check_against(&doc, &runs, tolerance) {
+            Ok(report) => {
+                eprintln!("chats-bench: regression gate passed\n{report}");
+            }
+            Err(report) => {
+                eprintln!("chats-bench: {report}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,7 @@
 //! DESIGN.md); the *shapes* are the reproduction target, recorded in
 //! EXPERIMENTS.md.
 
+pub mod baseline;
 pub mod figures;
 pub mod harness;
 

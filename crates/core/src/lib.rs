@@ -44,6 +44,15 @@
 
 pub mod abort;
 pub mod decision;
+
+/// Deterministic fast hashing for simulator-internal hot maps.
+///
+/// Implemented in `chats-mem` (the lowest crate in the dependency
+/// stack, so the backing store can use it too) and re-exported here as
+/// the canonical import path for policy- and machine-level code.
+pub mod fasthash {
+    pub use chats_mem::fasthash::*;
+}
 pub mod levc;
 pub mod naive;
 pub mod pic;

@@ -7,7 +7,7 @@ use chats_mem::{Addr, Cache, LineAddr, ReadSignature};
 use chats_tvm::{Vm, VmSnapshot};
 
 use crate::oracle::Oracle;
-use std::collections::{HashMap, HashSet};
+use chats_core::fasthash::{FastHashMap, FastHashSet};
 
 /// Execution mode of a core's current thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +108,7 @@ pub struct CoreState {
     pub is_power: bool,
     /// Rrestrict/W heuristic: per static transaction, lines written by
     /// earlier attempts (predicted "in-flight writes").
-    pub write_predictor: HashMap<usize, HashSet<LineAddr>>,
+    pub write_predictor: FastHashMap<usize, FastHashSet<LineAddr>>,
     /// Atomicity oracle (enabled via `Tuning::check_atomicity`).
     pub(crate) oracle: Oracle,
 }
@@ -148,7 +148,7 @@ impl CoreState {
             attempt_forwarded: false,
             attempt_conflicted: false,
             is_power: false,
-            write_predictor: HashMap::new(),
+            write_predictor: FastHashMap::default(),
             oracle: Oracle::default(),
         }
     }
@@ -160,7 +160,7 @@ impl CoreState {
 
     /// Lines predicted to be written soon by the current static
     /// transaction (Rrestrict/W heuristic).
-    pub fn predicted_writes(&self) -> Option<&HashSet<LineAddr>> {
+    pub fn predicted_writes(&self) -> Option<&FastHashSet<LineAddr>> {
         self.write_predictor.get(&self.tx_site)
     }
 }

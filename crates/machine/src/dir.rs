@@ -6,8 +6,9 @@
 //! behaviour CHATS depends on (see DESIGN.md §6, decision 4).
 
 use crate::msg::Request;
+use chats_core::fasthash::{FastHashMap, FastHashSet};
 use chats_mem::{BackingStore, Line, LineAddr};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Stable directory state of one line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,44 +52,94 @@ impl DirLine {
     }
 }
 
+/// Direct-mapped span of the per-line directory state. Every registry
+/// workload's footprint fits here; a `DirLine` for a hotter-than-that
+/// address space spills into the hash map.
+const DENSE_DIR_LINES: usize = 1 << 15;
+
 /// The directory plus the inclusive backing store behind it.
+///
+/// The per-line state for low line addresses lives in a direct-mapped
+/// `Vec<DirLine>` grown on first touch: `line_mut` — executed once per
+/// protocol message — is a bounds check and an index, no hashing. An
+/// untouched dense slot holds `DirState::Uncached`, which is exactly what
+/// the map-based lookup reported for an absent entry, so the two layouts
+/// are observationally identical.
 #[derive(Debug)]
 pub struct Directory {
-    lines: HashMap<LineAddr, DirLine>,
+    /// Lines `0..DENSE_DIR_LINES`, grown lazily to the highest touched.
+    dense: Vec<DirLine>,
+    /// Lines at or above `DENSE_DIR_LINES`.
+    spill: FastHashMap<LineAddr, DirLine>,
     /// Committed value of every line (the folded L2/L3/DRAM level).
     pub store: BackingStore,
-    /// Lines that have been accessed before (LLC-warm); cold lines pay the
-    /// memory latency.
-    warm: HashSet<LineAddr>,
+    /// Warm bits for the dense span: one bit per line, set once the line
+    /// has been accessed (LLC-warm); cold lines pay the memory latency.
+    warm_bits: Vec<u64>,
+    /// Warm lines at or above `DENSE_DIR_LINES`.
+    warm_spill: FastHashSet<LineAddr>,
 }
 
 impl Directory {
     /// An empty directory over zeroed memory.
     pub fn new() -> Directory {
         Directory {
-            lines: HashMap::new(),
+            dense: Vec::new(),
+            spill: FastHashMap::default(),
             store: BackingStore::new(),
-            warm: HashSet::new(),
+            warm_bits: Vec::new(),
+            warm_spill: FastHashSet::default(),
         }
     }
 
     /// Mutable per-line entry, created on demand.
+    #[inline]
     pub fn line_mut(&mut self, addr: LineAddr) -> &mut DirLine {
-        self.lines.entry(addr).or_insert_with(DirLine::new)
+        let idx = addr.index();
+        if (idx as usize) < DENSE_DIR_LINES {
+            let idx = idx as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize_with(idx + 1, DirLine::new);
+            }
+            &mut self.dense[idx]
+        } else {
+            self.spill.entry(addr).or_insert_with(DirLine::new)
+        }
     }
 
     /// Immutable per-line state (Uncached if never touched).
+    #[inline]
     pub fn state_of(&self, addr: LineAddr) -> DirState {
-        self.lines
-            .get(&addr)
-            .map(|l| l.state.clone())
-            .unwrap_or(DirState::Uncached)
+        let idx = addr.index();
+        if (idx as usize) < DENSE_DIR_LINES {
+            match self.dense.get(idx as usize) {
+                Some(l) => l.state.clone(),
+                None => DirState::Uncached,
+            }
+        } else {
+            self.spill
+                .get(&addr)
+                .map(|l| l.state.clone())
+                .unwrap_or(DirState::Uncached)
+        }
     }
 
     /// Marks a line warm; returns `true` if it was cold (first touch ⇒
     /// memory latency applies).
+    #[inline]
     pub fn touch(&mut self, addr: LineAddr) -> bool {
-        self.warm.insert(addr)
+        let idx = addr.index();
+        if (idx as usize) < DENSE_DIR_LINES {
+            let (word, bit) = (idx as usize / 64, idx % 64);
+            if word >= self.warm_bits.len() {
+                self.warm_bits.resize(word + 1, 0);
+            }
+            let cold = self.warm_bits[word] & (1u64 << bit) == 0;
+            self.warm_bits[word] |= 1u64 << bit;
+            cold
+        } else {
+            self.warm_spill.insert(addr)
+        }
     }
 
     /// Committed data of a line.
@@ -111,6 +162,10 @@ mod tests {
     fn untouched_lines_are_uncached() {
         let d = Directory::new();
         assert_eq!(d.state_of(LineAddr(9)), DirState::Uncached);
+        assert_eq!(
+            d.state_of(LineAddr(DENSE_DIR_LINES as u64 + 9)),
+            DirState::Uncached
+        );
     }
 
     #[test]
@@ -118,6 +173,9 @@ mod tests {
         let mut d = Directory::new();
         assert!(d.touch(LineAddr(1)), "first touch is cold");
         assert!(!d.touch(LineAddr(1)), "second touch is warm");
+        let far = LineAddr(u64::MAX - 3);
+        assert!(d.touch(far), "first spill touch is cold");
+        assert!(!d.touch(far), "second spill touch is warm");
     }
 
     #[test]
@@ -125,5 +183,18 @@ mod tests {
         let mut d = Directory::new();
         d.line_mut(LineAddr(2)).state = DirState::Owned(3);
         assert_eq!(d.state_of(LineAddr(2)), DirState::Owned(3));
+    }
+
+    #[test]
+    fn dense_and_spill_lines_are_independent() {
+        let mut d = Directory::new();
+        let below = LineAddr(DENSE_DIR_LINES as u64 - 1);
+        let above = LineAddr(DENSE_DIR_LINES as u64);
+        d.line_mut(below).state = DirState::Owned(1);
+        d.line_mut(above).state = DirState::Shared(vec![0, 2]);
+        assert_eq!(d.state_of(below), DirState::Owned(1));
+        assert_eq!(d.state_of(above), DirState::Shared(vec![0, 2]));
+        // Growing the dense span did not invent state for neighbours.
+        assert_eq!(d.state_of(LineAddr(5)), DirState::Uncached);
     }
 }

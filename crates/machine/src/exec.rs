@@ -278,7 +278,7 @@ impl Machine {
         if self.cores[core].oracle.is_enabled() {
             // Snapshot the committed values of every read word, then let
             // the oracle compare (our own writes just became committed).
-            let committed_now: std::collections::HashMap<u64, u64> = self.cores[core]
+            let committed_now: chats_core::fasthash::FastHashMap<u64, u64> = self.cores[core]
                 .oracle
                 .read_log()
                 .map(|(a, _)| (a, self.inspect_word(Addr(a))))
@@ -377,16 +377,13 @@ impl Machine {
         let verdict = {
             let c = &mut self.cores[core];
             // Train the Rrestrict/W predictor with this attempt's writes.
-            let written: Vec<LineAddr> =
-                c.l1.iter()
+            let (l1, predictor, site) = (&c.l1, &mut c.write_predictor, c.tx_site);
+            predictor.entry(site).or_default().extend(
+                l1.iter()
                     .filter(|e| e.sm && !e.spec_received)
-                    .map(|e| e.addr)
-                    .collect();
-            c.write_predictor
-                .entry(c.tx_site)
-                .or_default()
-                .extend(written);
-            c.l1.gang_invalidate_speculative();
+                    .map(|e| e.addr),
+            );
+            c.l1.drop_speculative();
             c.read_sig.clear();
             c.vsb.clear();
             c.pic.reset();

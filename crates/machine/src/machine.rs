@@ -616,6 +616,7 @@ impl Machine {
                 return Err(SimError::Timeout { at_cycle: t.0 });
             }
             self.clock = t;
+            self.stats.events += 1;
             if self.watchdog.is_some() {
                 if let Some(err) = self.watchdog_check() {
                     return Err(err);
@@ -636,7 +637,11 @@ impl Machine {
             });
         }
         self.finish_stats();
-        Ok(self.stats.clone())
+        // Return the stats by move; `self.stats` is left defaulted. Callers
+        // that want post-run access keep the returned value (the error
+        // paths above never take this branch, so `Machine::stats` still
+        // reflects the failed run for diagnostics).
+        Ok(std::mem::take(&mut self.stats))
     }
 
     /// Pops the next event. With a schedule hook installed, same-cycle ties

@@ -17,18 +17,18 @@
 //! throughout the test suite; it costs a hash-map per core when on and
 //! nothing when off.
 
+use chats_core::fasthash::FastHashMap;
 use chats_mem::Addr;
-use std::collections::HashMap;
 
 /// Per-core observation log for the current transaction attempt.
 #[derive(Debug, Default)]
 pub(crate) struct Oracle {
     enabled: bool,
     /// word address -> first transactionally loaded value
-    reads: HashMap<u64, u64>,
+    reads: FastHashMap<u64, u64>,
     /// word addresses the transaction itself wrote (exempt from the
     /// read check — the transaction is the committer of those values)
-    writes: HashMap<u64, u64>,
+    writes: FastHashMap<u64, u64>,
 }
 
 impl Oracle {

@@ -41,9 +41,39 @@ impl Machine {
             self.watch_push(msg);
         }
         let dir_latency = self.cfg.mem.dir_latency;
-        let state = self.dir.state_of(req.line);
-        match state {
-            DirState::Uncached => {
+        // Classify the request against the current line state in one
+        // borrow, without cloning the sharer list (`state_of` copies the
+        // whole `Vec`, and this runs once per directory request). The
+        // `others` allocation survives only on the path that actually
+        // sends invalidations.
+        enum Disposition {
+            Uncached,
+            SharedRead,
+            SharedSolo,
+            SharedInv(Vec<usize>),
+            OwnedSelf,
+            OwnedOther(usize),
+        }
+        let disp = match &self.dir.line_mut(req.line).state {
+            DirState::Uncached => Disposition::Uncached,
+            DirState::Shared(sharers) => {
+                if !req.getx {
+                    Disposition::SharedRead
+                } else {
+                    let others: Vec<usize> =
+                        sharers.iter().copied().filter(|&s| s != req.core).collect();
+                    if others.is_empty() {
+                        Disposition::SharedSolo
+                    } else {
+                        Disposition::SharedInv(others)
+                    }
+                }
+            }
+            DirState::Owned(owner) if *owner == req.core => Disposition::OwnedSelf,
+            DirState::Owned(owner) => Disposition::OwnedOther(*owner),
+        };
+        match disp {
+            Disposition::Uncached => {
                 let cold = self.dir.touch(req.line);
                 let lat = dir_latency + if cold { self.cfg.mem.mem_latency } else { 0 };
                 let data = self.dir.read(req.line);
@@ -51,57 +81,50 @@ impl Machine {
                 self.dir.line_mut(req.line).state = DirState::Owned(req.core);
                 self.respond_data(req, data, true, lat);
             }
-            DirState::Shared(sharers) => {
+            Disposition::SharedRead => {
                 self.dir.touch(req.line);
-                if !req.getx {
-                    let data = self.dir.read(req.line);
-                    let dl = self.dir.line_mut(req.line);
-                    if let DirState::Shared(list) = &mut dl.state {
-                        if !list.contains(&req.core) {
-                            list.push(req.core);
-                        }
+                let data = self.dir.read(req.line);
+                let dl = self.dir.line_mut(req.line);
+                if let DirState::Shared(list) = &mut dl.state {
+                    if !list.contains(&req.core) {
+                        list.push(req.core);
                     }
-                    self.respond_data(req, data, false, dir_latency);
-                } else {
-                    let others: Vec<usize> =
-                        sharers.iter().copied().filter(|&s| s != req.core).collect();
-                    if others.is_empty() {
-                        let data = self.dir.read(req.line);
-                        self.dir.line_mut(req.line).state = DirState::Owned(req.core);
-                        self.respond_data(req, data, true, dir_latency);
-                    } else {
-                        let dl = self.dir.line_mut(req.line);
-                        dl.busy = true;
-                        dl.pending_invs = others.len();
-                        dl.inv_refused = false;
-                        dl.invalidated.clear();
-                        for s in others {
-                            self.dir_send_to_core(
-                                s,
-                                MsgClass::Control,
-                                CoreMsg::Inv { req },
-                                dir_latency,
-                            );
-                        }
-                    }
+                }
+                self.respond_data(req, data, false, dir_latency);
+            }
+            Disposition::SharedSolo => {
+                self.dir.touch(req.line);
+                let data = self.dir.read(req.line);
+                self.dir.line_mut(req.line).state = DirState::Owned(req.core);
+                self.respond_data(req, data, true, dir_latency);
+            }
+            Disposition::SharedInv(others) => {
+                self.dir.touch(req.line);
+                let dl = self.dir.line_mut(req.line);
+                dl.busy = true;
+                dl.pending_invs = others.len();
+                dl.inv_refused = false;
+                dl.invalidated.clear();
+                for s in others {
+                    self.dir_send_to_core(s, MsgClass::Control, CoreMsg::Inv { req }, dir_latency);
                 }
             }
-            DirState::Owned(owner) => {
+            Disposition::OwnedSelf => {
                 self.dir.touch(req.line);
-                if owner == req.core {
-                    // The owner silently dropped its copy and is asking
-                    // again: service from the store, ownership unchanged.
-                    let data = self.dir.read(req.line);
-                    self.respond_data(req, data, true, dir_latency);
-                } else {
-                    self.dir.line_mut(req.line).busy = true;
-                    self.dir_send_to_core(
-                        owner,
-                        MsgClass::Control,
-                        CoreMsg::Probe { req },
-                        dir_latency,
-                    );
-                }
+                // The owner silently dropped its copy and is asking
+                // again: service from the store, ownership unchanged.
+                let data = self.dir.read(req.line);
+                self.respond_data(req, data, true, dir_latency);
+            }
+            Disposition::OwnedOther(owner) => {
+                self.dir.touch(req.line);
+                self.dir.line_mut(req.line).busy = true;
+                self.dir_send_to_core(
+                    owner,
+                    MsgClass::Control,
+                    CoreMsg::Probe { req },
+                    dir_latency,
+                );
             }
         }
     }

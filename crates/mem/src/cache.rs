@@ -225,6 +225,14 @@ impl Cache {
         dropped
     }
 
+    /// [`Cache::gang_invalidate_speculative`] without collecting the
+    /// dropped addresses — the abort hot path does not need them.
+    pub fn drop_speculative(&mut self) {
+        for set in &mut self.entries {
+            set.retain(|e| !e.sm && !e.spec_received);
+        }
+    }
+
     /// Clears the SM and spec-received bits of every line (transaction
     /// commit): speculative data becomes the committed, `Modified` version.
     pub fn commit_speculative(&mut self) {

@@ -26,12 +26,14 @@
 
 pub mod addr;
 pub mod cache;
+pub mod fasthash;
 pub mod line;
 pub mod signature;
 pub mod store;
 
 pub use addr::{Addr, LineAddr, WORDS_PER_LINE};
 pub use cache::{Cache, CacheEntry, CoherenceState, EvictOutcome};
+pub use fasthash::{FastHashMap, FastHashSet, FxBuildHasher, FxHasher};
 pub use line::Line;
 pub use signature::ReadSignature;
 pub use store::BackingStore;

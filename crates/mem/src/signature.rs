@@ -6,9 +6,20 @@
 //! this is a *perfect* — false-positive-free — set of line addresses.
 
 use crate::addr::LineAddr;
-use std::collections::HashSet;
+use crate::fasthash::FastHashSet;
+
+/// Direct-mapped span of the signature bitmap; lines above this spill
+/// into a hash set. Matches the backing store's dense region.
+const DENSE_SIG_LINES: u64 = 1 << 15;
 
 /// An exact set of lines transactionally read by a core.
+///
+/// Membership tests and inserts run on the coherence hot path (every
+/// load, every incoming exclusive request), so the low-address span is a
+/// bitmap plus an insertion log: `contains` is one bit test, `insert`
+/// sets a bit and appends, and `clear` — called at every commit and
+/// abort — resets only the bits actually set instead of wiping the whole
+/// bitmap.
 ///
 /// # Example
 ///
@@ -22,7 +33,14 @@ use std::collections::HashSet;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReadSignature {
-    lines: HashSet<LineAddr>,
+    /// One bit per line in the dense span, grown on demand and kept
+    /// across `clear` so steady state never reallocates.
+    bits: Vec<u64>,
+    /// Dense lines in insertion order, for targeted clearing and
+    /// iteration.
+    log: Vec<LineAddr>,
+    /// Lines at or above `DENSE_SIG_LINES`.
+    spill: FastHashSet<LineAddr>,
 }
 
 impl ReadSignature {
@@ -33,35 +51,57 @@ impl ReadSignature {
 
     /// Records a transactional read of `line`.
     pub fn insert(&mut self, line: LineAddr) {
-        self.lines.insert(line);
+        let idx = line.index();
+        if idx < DENSE_SIG_LINES {
+            let (word, bit) = (idx as usize / 64, idx % 64);
+            if word >= self.bits.len() {
+                self.bits.resize(word + 1, 0);
+            }
+            if self.bits[word] & (1u64 << bit) == 0 {
+                self.bits[word] |= 1u64 << bit;
+                self.log.push(line);
+            }
+        } else {
+            self.spill.insert(line);
+        }
     }
 
     /// Tests membership (conflict check on an incoming exclusive request).
     #[must_use]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.lines.contains(&line)
+        let idx = line.index();
+        if idx < DENSE_SIG_LINES {
+            self.bits
+                .get(idx as usize / 64)
+                .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+        } else {
+            self.spill.contains(&line)
+        }
     }
 
     /// Empties the signature (commit or abort).
     pub fn clear(&mut self) {
-        self.lines.clear();
+        for line in self.log.drain(..) {
+            self.bits[line.index() as usize / 64] &= !(1u64 << (line.index() % 64));
+        }
+        self.spill.clear();
     }
 
     /// Number of distinct lines read.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.log.len() + self.spill.len()
     }
 
     /// `true` when no reads are recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.len() == 0
     }
 
     /// Iterates the recorded lines (order unspecified).
     pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.lines.iter().copied()
+        self.log.iter().copied().chain(self.spill.iter().copied())
     }
 }
 
@@ -93,5 +133,33 @@ mod tests {
         let mut got: Vec<u64> = s.iter().map(|l| l.index()).collect();
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_and_spill_lines_coexist() {
+        let mut s = ReadSignature::new();
+        let lo = LineAddr(DENSE_SIG_LINES - 1);
+        let hi = LineAddr(DENSE_SIG_LINES);
+        let far = LineAddr(u64::MAX);
+        s.insert(lo);
+        s.insert(hi);
+        s.insert(far);
+        s.insert(hi); // duplicate in the spill region
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(lo) && s.contains(hi) && s.contains(far));
+        assert!(!s.contains(LineAddr(0)));
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(lo) && !s.contains(hi) && !s.contains(far));
+    }
+
+    #[test]
+    fn clear_then_reinsert_works() {
+        let mut s = ReadSignature::new();
+        s.insert(LineAddr(100));
+        s.clear();
+        s.insert(LineAddr(100));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(LineAddr(100)));
     }
 }

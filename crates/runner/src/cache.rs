@@ -185,6 +185,7 @@ pub fn stats_to_json(s: &RunStats) -> Json {
     put("power_grants", s.power_grants);
     put("nacks", s.nacks);
     put("instructions", s.instructions);
+    put("events", s.events);
     m.insert(
         "max_chain_depth".into(),
         Json::U64(u64::from(s.max_chain_depth)),
@@ -253,6 +254,7 @@ pub fn stats_from_json(v: &Json) -> Result<RunStats, String> {
         power_grants: field("power_grants")?,
         nacks: field("nacks")?,
         instructions: field("instructions")?,
+        events: field("events")?,
         max_chain_depth: u32::try_from(field("max_chain_depth")?)
             .map_err(|_| "max_chain_depth out of range".to_string())?,
         ..RunStats::default()

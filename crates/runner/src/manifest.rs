@@ -95,6 +95,7 @@ pub fn manifest_json_with_profile(
         }),
     );
 
+    let mut events_total: u64 = 0;
     let per_job: Vec<Json> = report
         .records
         .iter()
@@ -109,6 +110,24 @@ pub fn manifest_json_with_profile(
             m.insert("attempts".to_string(), Json::U64(u64::from(r.attempts)));
             m.insert("millis".to_string(), Json::U64(r.millis));
             m.insert("worker".to_string(), Json::U64(r.worker as u64));
+            // Wall-time and simulator throughput per job, so the runner's
+            // cache and parallelism wins show up in the same perf
+            // trajectory as the single-run numbers (a cache hit "replays"
+            // the job's events in ~0 time). `events` is a deterministic
+            // counter; `events_per_sec` is wall-clock and is stripped by
+            // [`canonical_manifest`].
+            if let Some(stats) = u64::from_str_radix(&r.id, 16)
+                .ok()
+                .and_then(|id| report.results.get(&id))
+            {
+                events_total += stats.events;
+                m.insert("events".to_string(), Json::U64(stats.events));
+                let secs = (r.millis as f64 / 1000.0).max(0.000_5);
+                m.insert(
+                    "events_per_sec".to_string(),
+                    Json::F64(stats.events as f64 / secs),
+                );
+            }
             if let Some(err) = r.outcome.error() {
                 m.insert("error".to_string(), Json::Str(err.to_string()));
             }
@@ -149,6 +168,11 @@ pub fn manifest_json_with_profile(
         Json::U64(u64::try_from(report.busy().as_millis()).unwrap_or(u64::MAX)),
     );
     root.insert("speedup".to_string(), Json::F64(report.speedup()));
+    root.insert("events_total".to_string(), Json::U64(events_total));
+    root.insert(
+        "events_per_sec".to_string(),
+        Json::F64(events_total as f64 / (report.wall.as_secs_f64().max(0.000_5))),
+    );
     root.insert("jobs".to_string(), Json::Obj(jobs));
     root.insert("cache".to_string(), Json::Obj(cache));
     root.insert("per_job".to_string(), Json::Arr(per_job));
@@ -215,6 +239,43 @@ pub fn write_manifest_with_profile(
         run_id,
         profile,
     })
+}
+
+/// Renders `report` as a *canonicalized* manifest: the wall-clock fields a
+/// manifest legitimately varies in (timestamps, timing, worker ids,
+/// scheduling order, derived throughput) are stripped and per-job records
+/// are sorted by id, so what remains must be byte-identical across runs
+/// and worker counts for a deterministic job set. The determinism proptest
+/// and the simulation-core bit-identity golden both diff this form.
+#[must_use]
+pub fn canonical_manifest(report: &RunReport, sets: &[String], scale: &str) -> String {
+    let mut v = manifest_json(report, sets, scale, "canonical");
+    if let Json::Obj(root) = &mut v {
+        for key in [
+            "created_unix_ms",
+            "wall_ms",
+            "busy_ms",
+            "speedup",
+            "workers",
+            "events_per_sec",
+        ] {
+            root.remove(key);
+        }
+        if let Some(Json::Arr(jobs)) = root.get_mut("per_job") {
+            for job in jobs.iter_mut() {
+                if let Json::Obj(m) = job {
+                    m.remove("millis");
+                    m.remove("worker");
+                    m.remove("events_per_sec");
+                }
+            }
+            jobs.sort_by_key(|j| match j.get("id") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            });
+        }
+    }
+    v.to_pretty()
 }
 
 /// A two-column summary of a report for terminal display.

@@ -6,8 +6,7 @@
 use chats_core::{HtmSystem, PolicyConfig};
 use chats_obs::VecSink;
 use chats_runner::hash::fnv1a_64;
-use chats_runner::manifest::manifest_json;
-use chats_runner::{JobSet, JobSpec, Json, RunReport, Runner, RunnerConfig};
+use chats_runner::{JobSet, JobSpec, RunReport, Runner, RunnerConfig};
 use chats_workloads::{registry, run_workload_traced, FaultPlan, RunConfig};
 use proptest::prelude::*;
 
@@ -29,36 +28,10 @@ fn trace_hash(workload: &str, system: HtmSystem, cfg: &RunConfig) -> (u64, u64) 
     (fnv1a_64(text.as_bytes()), out.stats.cycles)
 }
 
-/// Strips the wall-clock fields a manifest legitimately varies in
-/// (timing, worker ids, scheduling order) so what remains must be
-/// byte-identical across runs and worker counts.
+/// Canonicalized manifest rendering (wall-clock fields stripped), shared
+/// with the bit-identity golden test.
 fn canonical_manifest(report: &RunReport) -> String {
-    let sets = vec!["prop".to_string()];
-    let mut v = manifest_json(report, &sets, "quick", "fixed");
-    if let Json::Obj(root) = &mut v {
-        for key in [
-            "created_unix_ms",
-            "wall_ms",
-            "busy_ms",
-            "speedup",
-            "workers",
-        ] {
-            root.remove(key);
-        }
-        if let Some(Json::Arr(jobs)) = root.get_mut("per_job") {
-            for job in jobs.iter_mut() {
-                if let Json::Obj(m) = job {
-                    m.remove("millis");
-                    m.remove("worker");
-                }
-            }
-            jobs.sort_by_key(|j| match j.get("id") {
-                Some(Json::Str(s)) => s.clone(),
-                _ => String::new(),
-            });
-        }
-    }
-    v.to_pretty()
+    chats_runner::manifest::canonical_manifest(report, &["prop".to_string()], "quick")
 }
 
 fn run_pool(set: &JobSet, jobs: usize) -> RunReport {

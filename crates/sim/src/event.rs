@@ -1,7 +1,16 @@
 //! Simulation time and the deterministic event queue.
+//!
+//! The queue here is the single hottest data structure in the simulator:
+//! every message hop, core step and retry timer goes through one
+//! push/pop pair. It is implemented as a *timing wheel* (a bucketed
+//! calendar queue): a ring of [`WHEEL_SLOTS`] FIFO buckets covering a
+//! sliding window of near-future cycles, with a `BTreeMap` spillover for
+//! events beyond the window. Almost every event in this machine is
+//! scheduled a handful of cycles ahead (cache hops, NoC latencies,
+//! retry backoffs), so the common push and pop are O(1) with no
+//! comparisons, no per-entry sequence numbers, and no heap rebalancing.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -79,11 +88,30 @@ impl Sub<Cycle> for Cycle {
     }
 }
 
+/// Slots in the wheel window. Power of two, so a timestamp maps to its
+/// slot with a mask instead of a modulo. 1024 covers every latency in
+/// the Table-I machine (the longest single hop plus backoff is far under
+/// a thousand cycles), so spillover is rare.
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+/// Empty spillover buckets kept for reuse instead of returning their
+/// allocation; bounds the freelist so a burst cannot pin memory forever.
+const SPARE_BUCKETS: usize = 32;
+
 /// A discrete-event priority queue with deterministic FIFO tie-breaking.
 ///
 /// Events scheduled for the same [`Cycle`] are delivered in the order they
 /// were pushed. This makes whole-machine simulations reproducible: with a
 /// fixed seed, every run produces an identical event schedule.
+///
+/// Internally a timing wheel: a ring of FIFO buckets covering the cycles
+/// `[wheel_base, wheel_base + WHEEL_SLOTS)`, plus a sorted spillover map
+/// for timestamps outside that window. Same-time events always land in
+/// the *same* bucket, so bucket order **is** FIFO order — no sequence
+/// numbers needed — and the tie set at the head of the queue is simply
+/// the front bucket, which makes [`EventQueue::tie_width`] O(1) and
+/// [`EventQueue::pop_tied`] O(tie width) instead of the pop-all-and-push-
+/// back scan a heap would force.
 ///
 /// # Example
 ///
@@ -99,73 +127,175 @@ impl Sub<Cycle> for Cycle {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    seq: u64,
+    /// The wheel. `slots[t & WHEEL_MASK]` holds the events for cycle `t`
+    /// for every `t` in the window; a slot's events all share one
+    /// timestamp because the window is exactly one wheel circumference.
+    slots: Vec<VecDeque<E>>,
+    /// Events outside the window: pushed beyond `wheel_base +
+    /// WHEEL_SLOTS`, or (rare) pushed into the past behind `cursor`.
+    overflow: BTreeMap<u64, VecDeque<E>>,
+    /// Recycled empty spillover buckets.
+    spare: Vec<VecDeque<E>>,
+    /// First cycle the wheel window covers.
+    wheel_base: u64,
+    /// Next cycle to examine; slots for cycles in `[wheel_base, cursor)`
+    /// are drained. Always within the window.
+    cursor: u64,
+    /// Events currently stored in `slots`.
+    wheel_len: usize,
+    /// Total events (wheel + overflow).
+    len: usize,
 }
 
-#[derive(Debug, Clone)]
-struct Entry<E> {
-    at: Cycle,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// Where the head of the queue currently lives.
+#[derive(Clone, Copy)]
+enum Head {
+    /// In the wheel slot for this cycle.
+    Slot(u64),
+    /// In the overflow bucket keyed by this cycle.
+    Spill(u64),
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            overflow: BTreeMap::new(),
+            spare: Vec::new(),
+            wheel_base: 0,
+            cursor: 0,
+            wheel_len: 0,
+            len: 0,
         }
+    }
+
+    /// One past the last cycle the wheel window covers.
+    fn wheel_end(&self) -> u64 {
+        self.wheel_base.saturating_add(WHEEL_SLOTS as u64)
     }
 
     /// Schedules `event` for delivery at `at`.
     pub fn push(&mut self, at: Cycle, event: E) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        let t = at.0;
+        self.len += 1;
+        if t >= self.cursor && t < self.wheel_end() {
+            self.slots[(t & WHEEL_MASK) as usize].push_back(event);
+            self.wheel_len += 1;
+        } else {
+            self.overflow
+                .entry(t)
+                .or_insert_with(|| self.spare.pop().unwrap_or_default())
+                .push_back(event);
+        }
+    }
+
+    /// Locates the head of the queue without mutating anything.
+    ///
+    /// Invariant used throughout: overflow keys are either behind the
+    /// cursor (late pushes into the past) or at/after the window end —
+    /// never inside the un-drained part of the window — so a non-empty
+    /// wheel always beats an at-or-after-window spill key.
+    fn head(&self) -> Option<Head> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some((&k, _)) = self.overflow.iter().next() {
+            if k < self.cursor || self.wheel_len == 0 {
+                return Some(Head::Spill(k));
+            }
+        }
+        debug_assert!(self.wheel_len > 0);
+        let mut t = self.cursor;
+        loop {
+            debug_assert!(t < self.wheel_end(), "wheel scan escaped the window");
+            if !self.slots[(t & WHEEL_MASK) as usize].is_empty() {
+                return Some(Head::Slot(t));
+            }
+            t += 1;
+        }
+    }
+
+    /// Rebases the empty wheel onto `base` and migrates every spill
+    /// bucket that now falls inside the window into its slot.
+    fn rebase(&mut self, base: u64) {
+        debug_assert_eq!(self.wheel_len, 0);
+        self.wheel_base = base;
+        self.cursor = base;
+        let rest = self.overflow.split_off(&self.wheel_end());
+        let moved = std::mem::replace(&mut self.overflow, rest);
+        for (t, mut bucket) in moved {
+            self.wheel_len += bucket.len();
+            std::mem::swap(&mut self.slots[(t & WHEEL_MASK) as usize], &mut bucket);
+            // `bucket` is now the slot's previous (empty) deque.
+            if self.spare.len() < SPARE_BUCKETS {
+                self.spare.push(bucket);
+            }
+        }
+    }
+
+    /// Pops the front event of the overflow bucket at `k`, recycling the
+    /// bucket when it empties.
+    fn pop_spill(&mut self, k: u64) -> (Cycle, E) {
+        let bucket = self.overflow.get_mut(&k).expect("head bucket exists");
+        let e = bucket.pop_front().expect("head bucket non-empty");
+        if bucket.is_empty() {
+            let bucket = self.overflow.remove(&k).expect("bucket present");
+            if self.spare.len() < SPARE_BUCKETS {
+                self.spare.push(bucket);
+            }
+        }
+        self.len -= 1;
+        (Cycle(k), e)
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty. Ties are broken by insertion order.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        match self.head()? {
+            Head::Spill(k) => {
+                if k >= self.cursor && k != u64::MAX {
+                    // The wheel is empty and all spill keys are at or
+                    // beyond the window: jump the window forward so this
+                    // bucket (and its near successors) pop from slots.
+                    self.rebase(k);
+                    self.pop_from_slot(k)
+                } else {
+                    Some(self.pop_spill(k))
+                }
+            }
+            Head::Slot(t) => self.pop_from_slot(t),
+        }
+    }
+
+    fn pop_from_slot(&mut self, t: u64) -> Option<(Cycle, E)> {
+        self.cursor = t;
+        let e = self.slots[(t & WHEEL_MASK) as usize]
+            .pop_front()
+            .expect("head slot non-empty");
+        self.wheel_len -= 1;
+        self.len -= 1;
+        Some((Cycle(t), e))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.head().map(|h| match h {
+            Head::Slot(t) | Head::Spill(t) => Cycle(t),
+        })
     }
 
     /// Number of events tied at the earliest timestamp (0 when empty).
     ///
-    /// This is an O(n) scan, intended for schedule exploration where a
-    /// tie-break decision point only exists when more than one event is
-    /// deliverable "now". The simulation fast path never calls it.
+    /// Same-time events always share one bucket, so this is the length
+    /// of the head bucket — O(1) after locating the head, which is what
+    /// lets schedule exploration probe every dispatch for a tie-break
+    /// decision point without slowing the simulation down.
     pub fn tie_width(&self) -> usize {
-        match self.heap.peek() {
+        match self.head() {
             None => 0,
-            Some(Reverse(first)) => {
-                let at = first.at;
-                self.heap.iter().filter(|Reverse(e)| e.at == at).count()
-            }
+            Some(Head::Slot(t)) => self.slots[(t & WHEEL_MASK) as usize].len(),
+            Some(Head::Spill(k)) => self.overflow[&k].len(),
         }
     }
 
@@ -173,7 +303,7 @@ impl<E> EventQueue<E> {
     /// at the earliest timestamp; `k` is clamped to the tie width, and
     /// `pop_tied(0)` is exactly [`EventQueue::pop`].
     ///
-    /// The events skipped over keep their original sequence numbers, so the
+    /// The events skipped over stay in place in the head bucket, so the
     /// relative FIFO order of everything left in the queue is unchanged —
     /// a perturbed schedule differs from the default one *only* in the
     /// chosen delivery, never in collateral reordering.
@@ -181,30 +311,147 @@ impl<E> EventQueue<E> {
         if k == 0 {
             return self.pop();
         }
-        let at = self.peek_time()?;
-        let mut tied = Vec::new();
-        while self.heap.peek().map(|Reverse(e)| e.at) == Some(at) {
-            tied.push(self.heap.pop().expect("peeked entry vanished").0);
+        let (t, in_wheel) = match self.head()? {
+            Head::Slot(t) => (t, true),
+            Head::Spill(t) => (t, false),
+        };
+        let bucket = if in_wheel {
+            self.cursor = t;
+            &mut self.slots[(t & WHEEL_MASK) as usize]
+        } else {
+            self.overflow.get_mut(&t).expect("head bucket exists")
+        };
+        let e = bucket
+            .remove(k.min(bucket.len() - 1))
+            .expect("clamped index in range");
+        let emptied = bucket.is_empty();
+        if in_wheel {
+            self.wheel_len -= 1;
+        } else if emptied {
+            let bucket = self.overflow.remove(&t).expect("bucket present");
+            if self.spare.len() < SPARE_BUCKETS {
+                self.spare.push(bucket);
+            }
         }
-        let chosen = tied.remove(k.min(tied.len() - 1));
-        for e in tied {
-            self.heap.push(Reverse(e));
-        }
-        Some((chosen.at, chosen.event))
+        self.len -= 1;
+        Some((Cycle(t), e))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The pre-timing-wheel event queue: a binary heap of `(time, seq)`
+/// entries. Kept as the executable specification of the delivery order —
+/// `tests/prop_queue_equiv.rs` drives it in lockstep with [`EventQueue`]
+/// on arbitrary operation sequences. Not used by the simulator.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct ReferenceEventQueue<E> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<RefEntry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct RefEntry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for RefEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for RefEntry<E> {}
+impl<E> PartialOrd for RefEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for RefEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[allow(missing_docs)]
+impl<E> ReferenceEventQueue<E> {
+    pub fn new() -> Self {
+        ReferenceEventQueue {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap
+            .push(std::cmp::Reverse(RefEntry { at, seq, event }));
+    }
+
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|std::cmp::Reverse(e)| (e.at, e.event))
+    }
+
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|std::cmp::Reverse(e)| e.at)
+    }
+
+    pub fn tie_width(&self) -> usize {
+        match self.heap.peek() {
+            None => 0,
+            Some(std::cmp::Reverse(first)) => {
+                let at = first.at;
+                self.heap
+                    .iter()
+                    .filter(|std::cmp::Reverse(e)| e.at == at)
+                    .count()
+            }
+        }
+    }
+
+    pub fn pop_tied(&mut self, k: usize) -> Option<(Cycle, E)> {
+        if k == 0 {
+            return self.pop();
+        }
+        let at = self.peek_time()?;
+        let mut tied = Vec::new();
+        while self.heap.peek().map(|std::cmp::Reverse(e)| e.at) == Some(at) {
+            tied.push(self.heap.pop().expect("peeked entry vanished").0);
+        }
+        let chosen = tied.remove(k.min(tied.len() - 1));
+        for e in tied {
+            self.heap.push(std::cmp::Reverse(e));
+        }
+        Some((chosen.at, chosen.event))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for ReferenceEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -333,5 +580,116 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle(2), "c")));
         assert_eq!(q.pop(), Some((Cycle(5), "a")));
         assert_eq!(q.pop(), Some((Cycle(5), "d")));
+    }
+
+    // Timing-wheel specific coverage: window jumps, past pushes, and the
+    // window edge — cases a heap never distinguishes but a wheel must.
+
+    #[test]
+    fn far_future_events_spill_and_return() {
+        let mut q = EventQueue::new();
+        let far = WHEEL_SLOTS as u64 * 10;
+        q.push(Cycle(far + 1), 'b');
+        q.push(Cycle(far), 'a');
+        q.push(Cycle(3), 'x');
+        assert_eq!(q.pop(), Some((Cycle(3), 'x')));
+        // The wheel is now empty; popping rebases the window onto `far`.
+        assert_eq!(q.pop(), Some((Cycle(far), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(far + 1), 'b')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_ties_stay_fifo_through_rebase() {
+        let mut q = EventQueue::new();
+        let far = 5 * WHEEL_SLOTS as u64 + 7;
+        for i in 0..10 {
+            q.push(Cycle(far), i);
+        }
+        assert_eq!(q.tie_width(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((Cycle(far), i)));
+        }
+    }
+
+    #[test]
+    fn pushes_into_the_past_are_delivered_first() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(100), "now");
+        assert_eq!(q.pop(), Some((Cycle(100), "now")));
+        // Time has advanced to 100; push behind it.
+        q.push(Cycle(40), "late-a");
+        q.push(Cycle(40), "late-b");
+        q.push(Cycle(100), "next");
+        assert_eq!(q.tie_width(), 2);
+        assert_eq!(q.pop(), Some((Cycle(40), "late-a")));
+        assert_eq!(q.pop(), Some((Cycle(40), "late-b")));
+        assert_eq!(q.pop(), Some((Cycle(100), "next")));
+    }
+
+    #[test]
+    fn window_edge_times_are_ordered() {
+        let mut q = EventQueue::new();
+        let w = WHEEL_SLOTS as u64;
+        // Straddle the initial window boundary: w-1 in the wheel, w and
+        // w+1 in the spillover, all mapping near the same slot indices.
+        q.push(Cycle(w + 1), 4);
+        q.push(Cycle(w - 1), 1);
+        q.push(Cycle(w), 2);
+        q.push(Cycle(w), 3);
+        assert_eq!(q.pop(), Some((Cycle(w - 1), 1)));
+        assert_eq!(q.pop(), Some((Cycle(w), 2)));
+        assert_eq!(q.pop(), Some((Cycle(w), 3)));
+        assert_eq!(q.pop(), Some((Cycle(w + 1), 4)));
+    }
+
+    #[test]
+    fn max_timestamp_is_representable() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(u64::MAX), 'z');
+        q.push(Cycle(u64::MAX - 1), 'y');
+        q.push(Cycle(0), 'a');
+        assert_eq!(q.pop(), Some((Cycle(0), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(u64::MAX - 1), 'y')));
+        assert_eq!(q.pop(), Some((Cycle(u64::MAX), 'z')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reference_queue_matches_on_a_mixed_workout() {
+        let mut wheel = EventQueue::new();
+        let mut refq = ReferenceEventQueue::new();
+        // Deterministic pseudo-random mix of near, far and tied pushes
+        // interleaved with pops (an xorshift so no RNG dep is needed).
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut t = 0u64;
+        for i in 0..5_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let delay = match x % 10 {
+                0..=5 => x % 8,          // heavy tie pressure
+                6..=8 => x % 200,        // typical latencies
+                _ => 2_000 + x % 10_000, // far future (spillover)
+            };
+            wheel.push(Cycle(t + delay), i);
+            refq.push(Cycle(t + delay), i);
+            if x.is_multiple_of(3) {
+                assert_eq!(wheel.tie_width(), refq.tie_width());
+                let a = wheel.pop();
+                assert_eq!(a, refq.pop());
+                if let Some((at, _)) = a {
+                    t = at.0;
+                }
+            }
+        }
+        loop {
+            assert_eq!(wheel.peek_time(), refq.peek_time());
+            let a = wheel.pop();
+            assert_eq!(a, refq.pop());
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -71,6 +71,12 @@ pub struct RunStats {
     pub nacks: u64,
     /// Instructions retired across all threads.
     pub instructions: u64,
+    /// Discrete events dispatched by the simulator's event loop. A
+    /// simulator-engineering metric (events and wall time give the
+    /// events/sec throughput the perf baseline tracks), but deterministic
+    /// like every other counter: two runs of the same seed dispatch the
+    /// same events.
+    pub events: u64,
     /// Deepest chain position observed, as the distance of any PiC from
     /// its initial (middle-of-range) value. Evidence for the paper's
     /// claim that a 5-bit PiC register suffices in practice.
