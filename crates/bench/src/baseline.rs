@@ -84,6 +84,10 @@ pub struct Measurement {
     pub cycles: u64,
     /// Instructions retired (deterministic).
     pub instructions: u64,
+    /// Transactions committed (deterministic). For the evm family each
+    /// commit is one user transaction, so `commits_per_sec` is the
+    /// end-to-end user-txns/sec figure the bench gate floors.
+    pub commits: u64,
     /// Best wall time over the measurement reps.
     pub wall: Duration,
     /// Process peak RSS in kB after the case ran (`VmHWM`; monotone over
@@ -102,6 +106,13 @@ impl Measurement {
     #[must_use]
     pub fn cycles_per_sec(&self) -> f64 {
         self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Committed transactions per wall second (user-txns/sec for the
+    /// evm cases, where one commit is one user transaction).
+    #[must_use]
+    pub fn commits_per_sec(&self) -> f64 {
+        self.commits as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 }
 
@@ -147,6 +158,14 @@ pub fn workload_mix(quick: bool) -> Vec<Case> {
             },
         ]);
     }
+    // The smart-contract frontier: one paper-scale run is 104k user
+    // transactions (16 threads x 6500) against one hot contract, the
+    // heaviest single cell in the mix — `inner: 1` in both modes.
+    mix.push(Case {
+        kind: CaseKind::Registry("evm-token-storm"),
+        system: HtmSystem::Chats,
+        inner: 1,
+    });
     mix
 }
 
@@ -185,6 +204,7 @@ fn execute_once(case: &Case) -> (RunStats, Duration) {
         total.events += s.events;
         total.cycles += s.cycles;
         total.instructions += s.instructions;
+        total.commits += s.commits;
     };
     match case.kind {
         CaseKind::Contended => {
@@ -247,6 +267,7 @@ pub fn measure_case(case: &Case, reps: u32) -> Measurement {
         events: stats.events,
         cycles: stats.cycles,
         instructions: stats.instructions,
+        commits: stats.commits,
         wall,
         peak_rss_kb: peak_rss_kb(),
     }
@@ -298,12 +319,17 @@ pub fn section_json(label: &str, quick: bool, runs: &[Measurement]) -> Json {
                     r.insert("events".to_string(), Json::U64(m.events));
                     r.insert("cycles".to_string(), Json::U64(m.cycles));
                     r.insert("instructions".to_string(), Json::U64(m.instructions));
+                    r.insert("commits".to_string(), Json::U64(m.commits));
                     r.insert(
                         "wall_ms".to_string(),
                         Json::F64(m.wall.as_secs_f64() * 1000.0),
                     );
                     r.insert("events_per_sec".to_string(), Json::F64(m.events_per_sec()));
                     r.insert("cycles_per_sec".to_string(), Json::F64(m.cycles_per_sec()));
+                    r.insert(
+                        "commits_per_sec".to_string(),
+                        Json::F64(m.commits_per_sec()),
+                    );
                     r.insert("peak_rss_kb".to_string(), Json::U64(m.peak_rss_kb));
                     Json::Obj(r)
                 })
@@ -320,19 +346,27 @@ pub fn table(runs: &[Measurement]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<20} {:>8} {:>12} {:>12} {:>10} {:>14} {:>12}",
-        "workload/system", "cores", "events", "cycles", "wall ms", "events/sec", "peak RSS kB"
+        "{:<20} {:>8} {:>12} {:>12} {:>10} {:>14} {:>12} {:>12}",
+        "workload/system",
+        "cores",
+        "events",
+        "cycles",
+        "wall ms",
+        "events/sec",
+        "commits/sec",
+        "peak RSS kB"
     );
     for m in runs {
         let _ = writeln!(
             s,
-            "{:<20} {:>8} {:>12} {:>12} {:>10.1} {:>14.0} {:>12}",
+            "{:<20} {:>8} {:>12} {:>12} {:>10.1} {:>14.0} {:>12.0} {:>12}",
             m.name,
             m.cores,
             m.events,
             m.cycles,
             m.wall.as_secs_f64() * 1000.0,
             m.events_per_sec(),
+            m.commits_per_sec(),
             m.peak_rss_kb
         );
     }
@@ -354,8 +388,10 @@ fn gate_section(doc: &Json) -> &Json {
 
 /// Diffs `measured` against the committed baseline document: every
 /// measured case that also appears in the baseline must reach at least
-/// `1 - tolerance` of the committed events/sec. Returns a human-readable
-/// report; `Err` when any case regresses past the gate.
+/// `1 - tolerance` of each committed throughput floor — events/sec
+/// always, commits/sec (user-txns/sec) where the committed entry records
+/// one. Returns a human-readable report; `Err` when any case regresses
+/// past the gate.
 ///
 /// # Errors
 ///
@@ -369,46 +405,54 @@ pub fn check_against(
     let Some(Json::Arr(runs)) = section.get("runs") else {
         return Err("baseline document has no 'runs' array".to_string());
     };
-    let committed: BTreeMap<String, f64> = runs
+    let committed: BTreeMap<String, (Option<f64>, Option<f64>)> = runs
         .iter()
         .filter_map(|r| {
             let name = r.get("name").and_then(Json::as_str)?;
-            let eps = r.get("events_per_sec").and_then(Json::as_f64)?;
-            Some((name.to_string(), eps))
+            let eps = r.get("events_per_sec").and_then(Json::as_f64);
+            let cps = r.get("commits_per_sec").and_then(Json::as_f64);
+            (eps.is_some() || cps.is_some()).then(|| (name.to_string(), (eps, cps)))
         })
         .collect();
     let mut report = String::new();
     let mut failures = String::new();
     use std::fmt::Write as _;
     for m in measured {
-        let Some(&base) = committed.get(&m.name) else {
+        let Some(&(eps, cps)) = committed.get(&m.name) else {
             let _ = writeln!(report, "{}: not in committed baseline, skipped", m.name);
             continue;
         };
-        let ratio = m.events_per_sec() / base;
-        let verdict = if ratio >= 1.0 - tolerance {
-            "ok"
-        } else {
-            "REGRESSION"
-        };
-        let line = format!(
-            "{}: measured {:.0} ev/s vs committed {:.0} ev/s ({:+.1}%) {}",
-            m.name,
-            m.events_per_sec(),
-            base,
-            (ratio - 1.0) * 100.0,
-            verdict
-        );
-        let _ = writeln!(report, "{line}");
-        if verdict == "REGRESSION" {
-            let _ = writeln!(failures, "{line}");
+        let gates = [
+            ("ev/s", m.events_per_sec(), eps),
+            ("commits/s", m.commits_per_sec(), cps),
+        ];
+        for (unit, got, floor) in gates {
+            let Some(base) = floor else { continue };
+            let ratio = got / base;
+            let verdict = if ratio >= 1.0 - tolerance {
+                "ok"
+            } else {
+                "REGRESSION"
+            };
+            let line = format!(
+                "{}: measured {:.0} {unit} vs committed {:.0} {unit} ({:+.1}%) {}",
+                m.name,
+                got,
+                base,
+                (ratio - 1.0) * 100.0,
+                verdict
+            );
+            let _ = writeln!(report, "{line}");
+            if verdict == "REGRESSION" {
+                let _ = writeln!(failures, "{line}");
+            }
         }
     }
     if failures.is_empty() {
         Ok(report)
     } else {
         Err(format!(
-            "events/sec regressed more than {:.0}% against the committed \
+            "throughput regressed more than {:.0}% against the committed \
              baseline:\n{failures}\nfull diff:\n{report}",
             tolerance * 100.0
         ))
@@ -426,6 +470,7 @@ mod tests {
             events,
             cycles: events * 4,
             instructions: events,
+            commits: events / 2,
             wall: Duration::from_millis(wall_ms),
             peak_rss_kb: 1,
         }
@@ -469,6 +514,39 @@ mod tests {
         // Unknown cases are skipped, not failed.
         let skip = check_against(&committed, &[fake("novel/chats", 1, 1000)], 0.10);
         assert!(skip.unwrap().contains("skipped"));
+    }
+
+    #[test]
+    fn commits_floor_gates_independently_of_events() {
+        // A hand-written gate entry may carry only the user-txns/sec
+        // floor (no events_per_sec): the commits gate must still trip.
+        let entry = Json::Obj(
+            [
+                (
+                    "name".to_string(),
+                    Json::Str("evm-token-storm/chats".to_string()),
+                ),
+                ("commits_per_sec".to_string(), Json::F64(100_000.0)),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let doc = Json::Obj(
+            [("runs".to_string(), Json::Arr(vec![entry]))]
+                .into_iter()
+                .collect(),
+        );
+        // fake() commits = events/2, wall 1s: 240k commits/s clears the
+        // 100k floor even though no events floor exists.
+        let ok = check_against(&doc, &[fake("evm-token-storm/chats", 480_000, 1000)], 0.10);
+        assert!(ok.unwrap().contains("commits/s"));
+        // 80k commits/s is below floor * (1 - 0.10).
+        let bad = check_against(&doc, &[fake("evm-token-storm/chats", 160_000, 1000)], 0.10);
+        let err = bad.unwrap_err();
+        assert!(
+            err.contains("commits/s") && err.contains("REGRESSION"),
+            "{err}"
+        );
     }
 
     #[test]

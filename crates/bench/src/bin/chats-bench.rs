@@ -11,9 +11,10 @@
 //! * `--quick`      CI-smoke subset: fewer cells, fewer reps.
 //! * `--out PATH`   write the measured section as JSON.
 //! * `--check PATH` gate against a committed `BENCH_simcore.json`
-//!   (its `after` section when present): exit non-zero when any shared
-//!   case loses more than `--tolerance` (default 0.10) of its committed
-//!   events/sec.
+//!   (its `gate` floors when present, else `after`): exit non-zero when
+//!   any shared case loses more than `--tolerance` (default 0.10) of a
+//!   committed floor — events/sec always, commits/sec (user-txns/sec
+//!   for the evm cases) where the entry records one.
 //! * `--label NAME` label recorded in the JSON section (default
 //!   `measured`).
 

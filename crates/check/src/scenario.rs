@@ -57,6 +57,16 @@ pub enum ProgramSpec {
         /// Counter pool size in lines.
         pool: u64,
     },
+    /// Mint 1 token per transaction to a random account through the
+    /// compiled token contract (see [`chats_evm::check_kernel`]): a hot
+    /// supply word plus `pool` balance words, each transaction the real
+    /// contract-compiler output rather than a hand-built attack.
+    EvmMintStorm {
+        /// Transactions per thread.
+        iters: u64,
+        /// Account pool size (balance words).
+        pool: u64,
+    },
 }
 
 impl ProgramSpec {
@@ -76,6 +86,9 @@ impl ProgramSpec {
             }
             ProgramSpec::LateCommit { iters, spin } => gen::late_commit(iters, spin),
             ProgramSpec::Observer { iters, pool } => gen::observer(iters, pool),
+            ProgramSpec::EvmMintStorm { iters, pool } => {
+                chats_evm::check_kernel::mint_storm(iters, pool)
+            }
         }
     }
 
@@ -123,6 +136,11 @@ impl ProgramSpec {
                 put("pool", pool);
                 "observer"
             }
+            ProgramSpec::EvmMintStorm { iters, pool } => {
+                put("iters", iters);
+                put("pool", pool);
+                "evm_mint_storm"
+            }
         };
         m.insert("kind".to_string(), Json::Str(kind.to_string()));
         Json::Obj(m)
@@ -163,6 +181,10 @@ impl ProgramSpec {
                 spin: field("spin")?,
             }),
             Some("observer") => Ok(ProgramSpec::Observer {
+                iters: field("iters")?,
+                pool: field("pool")?,
+            }),
+            Some("evm_mint_storm") => Ok(ProgramSpec::EvmMintStorm {
                 iters: field("iters")?,
                 pool: field("pool")?,
             }),
@@ -394,6 +416,13 @@ pub fn smoke_scenarios() -> Vec<Scenario> {
             16,
             ProgramSpec::Observer { iters: 8, pool: 2 },
         ),
+        scenario(
+            "smoke-evm-mint-chats",
+            Chats,
+            3,
+            17,
+            ProgramSpec::EvmMintStorm { iters: 6, pool: 2 },
+        ),
     ]
 }
 
@@ -407,7 +436,7 @@ pub fn full_scenarios() -> Vec<Scenario> {
         HtmSystem::Chats,
         HtmSystem::Pchats,
     ];
-    let programs: [(&str, ProgramSpec); 6] = [
+    let programs: [(&str, ProgramSpec); 7] = [
         (
             "torture",
             ProgramSpec::Torture {
@@ -440,6 +469,7 @@ pub fn full_scenarios() -> Vec<Scenario> {
             },
         ),
         ("observer", ProgramSpec::Observer { iters: 10, pool: 2 }),
+        ("evm-mint", ProgramSpec::EvmMintStorm { iters: 8, pool: 4 }),
     ];
     let mut out = Vec::new();
     for (si, &system) in systems.iter().enumerate() {
@@ -478,6 +508,10 @@ mod tests {
             ProgramSpec::Observer {
                 iters: 12,
                 pool: 13,
+            },
+            ProgramSpec::EvmMintStorm {
+                iters: 14,
+                pool: 15,
             },
         ];
         for s in specs {

@@ -1,0 +1,119 @@
+//! Counted-sum attack kernels built through the real contract compiler,
+//! for `chats-check`'s schedule explorer.
+//!
+//! The explorer runs one identical program on every thread with no
+//! register presets, so unlike the [`scenario`](crate::scenario)
+//! generators these kernels draw their accounts with the VM's own `Rand`
+//! (each thread's seed differs) instead of parameter tables. The
+//! invariant is the standard counted-increment one: every mint adds 1 to
+//! the supply word and 1 to one balance word, so
+//! `sum(counters) == threads * per_thread` must hold under any policy,
+//! any schedule, and any survivable fault plan.
+
+use crate::compile::Lowerer;
+use crate::contract::{token, ContractBank, TOKEN};
+use crate::ops::TX_GAS_LIMIT;
+use crate::storage::StateLayout;
+use chats_tvm::{Kernel, ProgramBuilder, Reg};
+
+/// Mint storm: each transaction mints 1 token to a random account below
+/// `pool`, through the compiled token contract (supply RMW + balance
+/// RMW, both on their own hot lines).
+///
+/// Invariant: supply plus the `pool` balances sum to
+/// `threads * iters * 2`.
+///
+/// # Panics
+///
+/// Panics if `iters` or `pool` is zero, or `pool` exceeds the standard
+/// layout's account count.
+#[must_use]
+pub fn mint_storm(iters: u64, pool: u64) -> Kernel {
+    assert!(iters > 0 && pool > 0, "degenerate mint_storm kernel");
+    let layout = StateLayout::standard();
+    assert!(pool <= layout.accounts, "pool exceeds the account space");
+    let bank = ContractBank::library(&layout);
+    let low = Lowerer::new(&bank, &layout);
+
+    let (i, n, caller, to, amount, bound, ret) =
+        (Reg(0), Reg(2), Reg(4), Reg(5), Reg(6), Reg(7), Reg(9));
+    let mut b = ProgramBuilder::new();
+    b.imm(i, 0)
+        .imm(n, iters)
+        .imm(caller, 0)
+        .imm(amount, 1)
+        .imm(bound, pool);
+    let top = b.label();
+    b.bind(top);
+    b.rand(to, bound);
+    b.tx_begin();
+    low.emit_call(
+        &mut b,
+        (TOKEN, token::MINT),
+        caller,
+        &[to, amount],
+        ret,
+        TX_GAS_LIMIT,
+    )
+    .expect("token mint lowers");
+    b.tx_end();
+    b.pause(20);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+
+    let mut counters = vec![layout.slot_addr(TOKEN, token::SUPPLY_SLOT).0];
+    counters.extend((0..pool).map(|a| layout.slot_addr(TOKEN, token::BALANCE_BASE_SLOT + a).0));
+    Kernel {
+        program: b.build(),
+        counters,
+        per_thread: iters * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chats_tvm::{Vm, VmEvent};
+    use std::collections::HashMap;
+
+    fn interpret(k: &Kernel, seed: u64) -> HashMap<u64, u64> {
+        let mut mem = HashMap::new();
+        let mut vm = Vm::new(k.program.clone(), seed);
+        for _ in 0..2_000_000u64 {
+            match vm.step() {
+                VmEvent::Compute(_) | VmEvent::TxBegin | VmEvent::TxEnd => {}
+                VmEvent::Load(a) => vm.complete_load(*mem.get(&a.0).unwrap_or(&0)),
+                VmEvent::Store(a, v) => {
+                    mem.insert(a.0, v);
+                    vm.complete_store();
+                }
+                VmEvent::Halted => return mem,
+            }
+        }
+        panic!("kernel did not halt");
+    }
+
+    #[test]
+    fn invariant_holds_single_threaded() {
+        let k = mint_storm(9, 16);
+        let mem = interpret(&k, 11);
+        let sum: u64 = k.counters.iter().map(|a| mem.get(a).unwrap_or(&0)).sum();
+        assert_eq!(sum, k.per_thread);
+    }
+
+    #[test]
+    fn different_seeds_hit_different_balances() {
+        let k = mint_storm(20, 64);
+        assert_ne!(interpret(&k, 1), interpret(&k, 2));
+    }
+
+    #[test]
+    fn stray_writes_stay_inside_the_counter_set() {
+        let k = mint_storm(5, 8);
+        let mem = interpret(&k, 3);
+        for &a in mem.keys() {
+            assert!(k.counters.contains(&a), "write outside counters at {a}");
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! Lowering contract calls to straight-line TxVM code.
+//!
+//! The operand stack is mapped at compile time: stack slot `i` lives in
+//! TxVM register `16 + i`, so every stack op becomes at most a couple of
+//! register moves and no runtime stack exists at all. Calls are inlined
+//! (the op set has no dynamic dispatch), scratch memory gets a disjoint
+//! register group per call depth (per-frame semantics, exactly like the
+//! interpreter's fresh [`SeqMemory`](crate::memory::SeqMemory)), and gas
+//! is fully static: a transaction that lowers successfully can never run
+//! out of gas, overflow its stack, or touch state outside its contract's
+//! storage region.
+//!
+//! Register map (the driver program owns everything the compiler does
+//! not):
+//!
+//! ```text
+//! r0..r9    driver / caller / argument registers (untouched)
+//! r10..r15  scratch-memory slots, MEM_SLOTS per call depth
+//! r16..r27  operand stack slots 0..MAX_STACK
+//! r28..r29  compiler scratch
+//! r30..r31  untouched (r31 is the workload tid convention)
+//! ```
+
+use crate::contract::{ContractBank, ContractId};
+use crate::ops::{GasSchedule, Op, MAX_CALL_DEPTH, MAX_STACK, MEM_SLOTS};
+use crate::storage::StateLayout;
+use chats_tvm::{ProgramBuilder, Reg};
+
+/// First register of the per-depth scratch-memory groups.
+const MEM_BASE: u8 = 10;
+/// First register of the operand-stack slots.
+const STACK_BASE: u8 = 16;
+/// Compiler scratch register (`Swap` lowering).
+const SCRATCH: Reg = Reg(28);
+
+/// Why a transaction cannot be lowered. These are the *submission-time*
+/// rejections of the model — the runtime counterpart
+/// ([`ExecutionError`](crate::machine::ExecutionError)) can only occur
+/// for calls that would also fail to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Static gas exceeds the transaction's limit.
+    OutOfGas {
+        /// Gas the call needs.
+        needed: u64,
+        /// The transaction's gas limit.
+        limit: u64,
+    },
+    /// The operand stack would exceed [`MAX_STACK`] slots.
+    StackOverflow,
+    /// An op pops more than its frame has pushed.
+    StackUnderflow,
+    /// Inlining would exceed [`MAX_CALL_DEPTH`].
+    CallDepth,
+    /// No such contract/function in the bank.
+    UnknownFunction(ContractId, u8),
+    /// `Arg(i)` beyond the function's arity, or a call-site argument
+    /// count that does not match it.
+    BadArg(u8),
+    /// `MLoad`/`MStore` slot at or above [`MEM_SLOTS`].
+    MemSlot(u8),
+    /// A caller-supplied register collides with the compiler's reserved
+    /// range (r10..r29).
+    ReservedRegister(Reg),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::OutOfGas { needed, limit } => {
+                write!(f, "static gas {needed} exceeds limit {limit}")
+            }
+            CompileError::StackOverflow => write!(f, "operand stack exceeds {MAX_STACK} slots"),
+            CompileError::StackUnderflow => write!(f, "operand stack underflow"),
+            CompileError::CallDepth => write!(f, "call depth exceeds {MAX_CALL_DEPTH}"),
+            CompileError::UnknownFunction(c, fun) => {
+                write!(f, "unknown function {fun} of contract {}", c.0)
+            }
+            CompileError::BadArg(i) => write!(f, "argument {i} out of range"),
+            CompileError::MemSlot(s) => write!(f, "memory slot {s} out of range"),
+            CompileError::ReservedRegister(r) => {
+                write!(f, "register r{} is reserved by the compiler", r.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The contract-to-TxVM compiler.
+#[derive(Debug, Clone, Copy)]
+pub struct Lowerer<'a> {
+    bank: &'a ContractBank,
+    layout: &'a StateLayout,
+    schedule: GasSchedule,
+}
+
+impl<'a> Lowerer<'a> {
+    /// A lowerer over a deployed bank and layout, with the default gas
+    /// schedule.
+    #[must_use]
+    pub fn new(bank: &'a ContractBank, layout: &'a StateLayout) -> Lowerer<'a> {
+        Lowerer {
+            bank,
+            layout,
+            schedule: GasSchedule::default(),
+        }
+    }
+
+    /// The exact gas a call of `func` consumes (call overheads included,
+    /// nested calls inlined). Equal to the interpreter's dynamic
+    /// `gas_used` — the op set is straight-line, so there is nothing
+    /// dynamic about gas at all.
+    ///
+    /// # Errors
+    ///
+    /// Any structural [`CompileError`] in the function or its callees.
+    pub fn static_gas(&self, contract: ContractId, func: u8) -> Result<u64, CompileError> {
+        let arity = self.arity(contract, func)?;
+        let mut scratch = ProgramBuilder::new();
+        let args: Vec<Reg> = (0..arity).map(Reg).collect();
+        let (gas, _) = self.emit_fn(&mut scratch, (contract, func), Reg(0), &args, 0, 1)?;
+        Ok(gas)
+    }
+
+    /// Emits the full inlined body of `func` into `b`, reading the
+    /// caller account from `caller` and the arguments from `args`
+    /// (driver registers r0..r9), leaving the return value in `ret`.
+    /// The emitted code is straight-line (no branches, no `Rand`) and
+    /// contains no transaction markers — the driver brackets it with
+    /// `tx_begin`/`tx_end` so one user transaction is one hardware
+    /// transaction.
+    ///
+    /// Returns the call's (static == dynamic) gas.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`]; on error the builder may contain a partial
+    /// emission and should be discarded.
+    pub fn emit_call(
+        &self,
+        b: &mut ProgramBuilder,
+        target: (ContractId, u8),
+        caller: Reg,
+        args: &[Reg],
+        ret: Reg,
+        gas_limit: u64,
+    ) -> Result<u64, CompileError> {
+        let (contract, func) = target;
+        for &r in args.iter().chain([&caller, &ret]) {
+            if (MEM_BASE..30).contains(&r.0) {
+                return Err(CompileError::ReservedRegister(r));
+            }
+        }
+        let arity = self.arity(contract, func)?;
+        if args.len() != arity as usize {
+            return Err(CompileError::BadArg(arity));
+        }
+        let (gas, final_sp) = self.emit_fn(b, target, caller, args, 0, 1)?;
+        if gas > gas_limit {
+            return Err(CompileError::OutOfGas {
+                needed: gas,
+                limit: gas_limit,
+            });
+        }
+        if final_sp > 0 {
+            b.mov(ret, slot(final_sp - 1));
+        } else {
+            b.imm(ret, 0);
+        }
+        Ok(gas)
+    }
+
+    fn arity(&self, contract: ContractId, func: u8) -> Result<u8, CompileError> {
+        self.bank
+            .function(contract, func)
+            .map(|f| f.arity)
+            .ok_or(CompileError::UnknownFunction(contract, func))
+    }
+
+    /// Emits one inlined frame. `sp_base` is the first operand-stack
+    /// slot this frame may use; `args` are the registers holding its
+    /// arguments (driver registers for the entry frame, the caller's
+    /// top-of-stack slots for nested frames — those sit *below*
+    /// `sp_base`, so the frame cannot clobber them). Returns the frame's
+    /// gas and the stack height at its `Stop`.
+    fn emit_fn(
+        &self,
+        b: &mut ProgramBuilder,
+        target: (ContractId, u8),
+        caller: Reg,
+        args: &[Reg],
+        sp_base: usize,
+        depth: usize,
+    ) -> Result<(u64, usize), CompileError> {
+        let (contract, func) = target;
+        if depth > MAX_CALL_DEPTH {
+            return Err(CompileError::CallDepth);
+        }
+        let f = self
+            .bank
+            .function(contract, func)
+            .ok_or(CompileError::UnknownFunction(contract, func))?;
+        let arity = f.arity;
+        let ops = f.ops.clone();
+        let mut gas = self.schedule.call;
+        let mut sp = sp_base;
+
+        // Fresh per-frame scratch memory: zero this depth's register
+        // group iff the function touches it.
+        if ops
+            .iter()
+            .any(|o| matches!(o, Op::MLoad(_) | Op::MStore(_)))
+        {
+            for s in 0..MEM_SLOTS as u8 {
+                b.imm(mem_reg(depth, s), 0);
+            }
+        }
+
+        for op in &ops {
+            if !matches!(op, Op::Call(..) | Op::Stop) {
+                gas += self.schedule.cost(op);
+            }
+            match *op {
+                Op::Push(v) => {
+                    b.imm(self.push(&mut sp)?, v);
+                }
+                Op::Pop => {
+                    self.popn(&mut sp, sp_base, 1)?;
+                }
+                Op::Dup(n) => {
+                    let src = below(sp, sp_base, n)?;
+                    let dst = self.push(&mut sp)?;
+                    b.mov(dst, src);
+                }
+                Op::Swap(n) => {
+                    let top = below(sp, sp_base, 0)?;
+                    let other = below(sp, sp_base, n + 1)?;
+                    b.mov(SCRATCH, top);
+                    b.mov(top, other);
+                    b.mov(other, SCRATCH);
+                }
+                Op::Add => {
+                    self.popn(&mut sp, sp_base, 2)?;
+                    b.add(slot(sp), slot(sp), slot(sp + 1));
+                    sp += 1;
+                }
+                Op::Sub => {
+                    self.popn(&mut sp, sp_base, 2)?;
+                    b.sub(slot(sp), slot(sp), slot(sp + 1));
+                    sp += 1;
+                }
+                Op::Mul => {
+                    self.popn(&mut sp, sp_base, 2)?;
+                    b.mul(slot(sp), slot(sp), slot(sp + 1));
+                    sp += 1;
+                }
+                Op::Shr(n) => {
+                    let t = below(sp, sp_base, 0)?;
+                    b.shri(t, t, n);
+                }
+                Op::And(m) => {
+                    let t = below(sp, sp_base, 0)?;
+                    b.andi(t, t, m);
+                }
+                Op::Caller => {
+                    let dst = self.push(&mut sp)?;
+                    b.mov(dst, caller);
+                }
+                Op::Arg(i) => {
+                    let src = *args.get(i as usize).ok_or(CompileError::BadArg(i))?;
+                    let dst = self.push(&mut sp)?;
+                    b.mov(dst, src);
+                }
+                Op::MLoad(s) => {
+                    let src = checked_mem_reg(depth, s)?;
+                    let dst = self.push(&mut sp)?;
+                    b.mov(dst, src);
+                }
+                Op::MStore(s) => {
+                    let dst = checked_mem_reg(depth, s)?;
+                    let src = below(sp, sp_base, 0)?;
+                    b.mov(dst, src);
+                    self.popn(&mut sp, sp_base, 1)?;
+                }
+                Op::SLoad => {
+                    let t = below(sp, sp_base, 0)?;
+                    self.emit_slot_addr(b, contract, t);
+                    b.load(t, t);
+                }
+                Op::SStore => {
+                    let val = below(sp, sp_base, 0)?;
+                    let key = below(sp, sp_base, 1)?;
+                    self.emit_slot_addr(b, contract, key);
+                    b.store(key, val);
+                    self.popn(&mut sp, sp_base, 2)?;
+                }
+                Op::Call(callee, cf) => {
+                    let a = self.arity(callee, cf)? as usize;
+                    if sp < sp_base + a {
+                        return Err(CompileError::StackUnderflow);
+                    }
+                    let call_args: Vec<Reg> = (sp - a..sp).map(slot).collect();
+                    let (callee_gas, callee_sp) =
+                        self.emit_fn(b, (callee, cf), caller, &call_args, sp, depth + 1)?;
+                    gas += callee_gas;
+                    sp -= a;
+                    let dst = self.push(&mut sp)?;
+                    if callee_sp > 0 {
+                        b.mov(dst, slot(callee_sp - 1));
+                    } else {
+                        b.imm(dst, 0);
+                    }
+                }
+                Op::Stop => return Ok((gas, sp)),
+            }
+        }
+        // Missing Stop behaves like a trailing one (arity kept for the
+        // call-site contract; nothing else to do).
+        let _ = arity;
+        Ok((gas, sp))
+    }
+
+    /// Turns the slot key in `key_reg` into the word address of that
+    /// slot of `contract`'s storage region, in place. The mask keeps
+    /// every expressible access inside the region.
+    fn emit_slot_addr(&self, b: &mut ProgramBuilder, contract: ContractId, key_reg: Reg) {
+        b.andi(key_reg, key_reg, self.layout.slot_mask());
+        b.addi(key_reg, key_reg, self.layout.contract_base_line(contract));
+        b.shli(key_reg, key_reg, 3);
+    }
+
+    fn push(&self, sp: &mut usize) -> Result<Reg, CompileError> {
+        if *sp >= MAX_STACK {
+            return Err(CompileError::StackOverflow);
+        }
+        let r = slot(*sp);
+        *sp += 1;
+        Ok(r)
+    }
+
+    fn popn(&self, sp: &mut usize, sp_base: usize, n: usize) -> Result<(), CompileError> {
+        if *sp < sp_base + n {
+            return Err(CompileError::StackUnderflow);
+        }
+        *sp -= n;
+        Ok(())
+    }
+}
+
+/// Register of operand-stack slot `i`.
+fn slot(i: usize) -> Reg {
+    debug_assert!(i < MAX_STACK);
+    Reg(STACK_BASE + i as u8)
+}
+
+/// Register of scratch-memory slot `s` at call depth `depth` (1-based).
+fn mem_reg(depth: usize, s: u8) -> Reg {
+    Reg(MEM_BASE + ((depth - 1) * MEM_SLOTS) as u8 + s)
+}
+
+fn checked_mem_reg(depth: usize, s: u8) -> Result<Reg, CompileError> {
+    if (s as usize) >= MEM_SLOTS {
+        return Err(CompileError::MemSlot(s));
+    }
+    Ok(mem_reg(depth, s))
+}
+
+/// The slot `n` below the top of the frame's stack.
+fn below(sp: usize, sp_base: usize, n: u8) -> Result<Reg, CompileError> {
+    let i = sp
+        .checked_sub(1 + n as usize)
+        .filter(|&i| i >= sp_base)
+        .ok_or(CompileError::StackUnderflow)?;
+    Ok(slot(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{dex, token, ContractBank, DEX, TOKEN};
+    use crate::machine::Machine;
+    use crate::ops::TX_GAS_LIMIT;
+    use crate::storage::{ImageStorage, Storage};
+    use chats_mem::Addr;
+    use chats_tvm::{Vm, VmEvent};
+    use std::collections::HashMap;
+
+    /// Runs a TxVM program single-threaded over a flat memory.
+    fn interpret(program: chats_tvm::Program, init: &HashMap<u64, u64>) -> HashMap<u64, u64> {
+        let mut mem = init.clone();
+        let mut vm = Vm::new(program, 7);
+        for _ in 0..1_000_000u64 {
+            match vm.step() {
+                VmEvent::Compute(_) | VmEvent::TxBegin | VmEvent::TxEnd => {}
+                VmEvent::Load(a) => vm.complete_load(*mem.get(&a.0).unwrap_or(&0)),
+                VmEvent::Store(a, v) => {
+                    mem.insert(a.0, v);
+                    vm.complete_store();
+                }
+                VmEvent::Halted => return mem,
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    /// Lowers one call with literal arguments and runs it on TxVM.
+    fn run_lowered(
+        caller: u64,
+        contract: ContractId,
+        func: u8,
+        args: &[u64],
+        init: &HashMap<u64, u64>,
+    ) -> (HashMap<u64, u64>, u64) {
+        let layout = StateLayout::standard();
+        let bank = ContractBank::library(&layout);
+        let low = Lowerer::new(&bank, &layout);
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), caller);
+        let arg_regs: Vec<Reg> = args
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let r = Reg(1 + i as u8);
+                b.imm(r, v);
+                r
+            })
+            .collect();
+        b.tx_begin();
+        let gas = low
+            .emit_call(
+                &mut b,
+                (contract, func),
+                Reg(0),
+                &arg_regs,
+                Reg(9),
+                TX_GAS_LIMIT,
+            )
+            .unwrap();
+        b.tx_end();
+        b.halt();
+        let mem = interpret(b.build(), init);
+        (mem, gas)
+    }
+
+    /// Runs the same call on the reference interpreter.
+    fn run_reference(
+        caller: u64,
+        contract: ContractId,
+        func: u8,
+        args: &[u64],
+        init: &HashMap<u64, u64>,
+    ) -> (HashMap<u64, u64>, u64) {
+        let layout = StateLayout::standard();
+        let bank = ContractBank::library(&layout);
+        let image: Vec<(Addr, u64)> = init.iter().map(|(&a, &v)| (Addr(a), v)).collect();
+        let mut m = Machine::new(bank, layout, ImageStorage::from_image(&image));
+        let out = m.call(caller, contract, func, args, TX_GAS_LIMIT).unwrap();
+        let final_mem = m.into_storage().image().map(|(a, v)| (a.0, v)).collect();
+        (final_mem, out.gas_used)
+    }
+
+    fn differential(caller: u64, contract: ContractId, func: u8, args: &[u64]) {
+        let layout = StateLayout::standard();
+        let mut init = HashMap::new();
+        // Pre-fund a few balances and the reserves so subtraction paths
+        // are exercised with non-zero state.
+        for a in [caller, 3, ContractBank::dex_account(&layout)] {
+            init.insert(
+                layout
+                    .slot_addr(
+                        TOKEN,
+                        token::BALANCE_BASE_SLOT + (a & layout.account_mask()),
+                    )
+                    .0,
+                10_000,
+            );
+        }
+        init.insert(layout.slot_addr(DEX, dex::RESERVE_A_SLOT).0, 500);
+        init.insert(layout.slot_addr(DEX, dex::RESERVE_B_SLOT).0, 800);
+
+        let (tvm_mem, tvm_gas) = run_lowered(caller, contract, func, args, &init);
+        let (ref_mem, ref_gas) = run_reference(caller, contract, func, args, &init);
+        assert_eq!(tvm_gas, ref_gas, "static gas != interpreter gas");
+        // Every word the reference wrote (or seeded) must match; the TxVM
+        // run may not write anything extra outside the seeded words.
+        for (&a, &v) in &ref_mem {
+            assert_eq!(
+                tvm_mem.get(&a).copied().unwrap_or(0),
+                v,
+                "word {a} diverges"
+            );
+        }
+        for (&a, &v) in &tvm_mem {
+            if !ref_mem.contains_key(&a) {
+                assert_eq!(v, 0, "phantom write at word {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_mint_matches_reference() {
+        differential(2, TOKEN, token::MINT, &[3, 250]);
+    }
+
+    #[test]
+    fn lowered_transfer_matches_reference() {
+        differential(2, TOKEN, token::TRANSFER, &[3, 77]);
+    }
+
+    #[test]
+    fn lowered_transfer_from_matches_reference() {
+        differential(9, TOKEN, token::TRANSFER_FROM, &[2, 3, 55]);
+    }
+
+    #[test]
+    fn lowered_balance_of_matches_reference() {
+        differential(1, TOKEN, token::BALANCE_OF, &[3]);
+    }
+
+    #[test]
+    fn lowered_swap_with_nested_calls_matches_reference() {
+        differential(2, DEX, dex::SWAP, &[120]);
+    }
+
+    #[test]
+    fn lowered_deposit_matches_reference() {
+        differential(4, DEX, dex::DEPOSIT, &[30, 40]);
+    }
+
+    #[test]
+    fn static_gas_matches_interpreter_for_whole_library() {
+        let layout = StateLayout::standard();
+        let bank = ContractBank::library(&layout);
+        let low = Lowerer::new(&bank, &layout);
+        let cases: [(ContractId, u8, Vec<u64>); 6] = [
+            (TOKEN, token::MINT, vec![1, 2]),
+            (TOKEN, token::TRANSFER, vec![1, 2]),
+            (TOKEN, token::TRANSFER_FROM, vec![1, 2, 3]),
+            (TOKEN, token::BALANCE_OF, vec![1]),
+            (DEX, dex::SWAP, vec![5]),
+            (DEX, dex::DEPOSIT, vec![5, 6]),
+        ];
+        for (c, f, args) in cases {
+            let static_gas = low.static_gas(c, f).unwrap();
+            let mut m = Machine::new(ContractBank::library(&layout), layout, ImageStorage::new());
+            let out = m.call(0, c, f, &args, TX_GAS_LIMIT).unwrap();
+            assert_eq!(static_gas, out.gas_used, "contract {} fn {f}", c.0);
+        }
+    }
+
+    #[test]
+    fn gas_limit_rejects_at_compile_time() {
+        let layout = StateLayout::standard();
+        let bank = ContractBank::library(&layout);
+        let low = Lowerer::new(&bank, &layout);
+        let mut b = ProgramBuilder::new();
+        let err = low
+            .emit_call(&mut b, (DEX, dex::SWAP), Reg(0), &[Reg(1)], Reg(9), 10)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::OutOfGas { limit: 10, .. }));
+    }
+
+    #[test]
+    fn reserved_registers_are_rejected() {
+        let layout = StateLayout::standard();
+        let bank = ContractBank::library(&layout);
+        let low = Lowerer::new(&bank, &layout);
+        let mut b = ProgramBuilder::new();
+        let err = low
+            .emit_call(
+                &mut b,
+                (TOKEN, token::BALANCE_OF),
+                Reg(16),
+                &[Reg(1)],
+                Reg(9),
+                TX_GAS_LIMIT,
+            )
+            .unwrap_err();
+        assert_eq!(err, CompileError::ReservedRegister(Reg(16)));
+    }
+
+    #[test]
+    fn wrong_argument_count_is_rejected() {
+        let layout = StateLayout::standard();
+        let bank = ContractBank::library(&layout);
+        let low = Lowerer::new(&bank, &layout);
+        let mut b = ProgramBuilder::new();
+        let err = low
+            .emit_call(
+                &mut b,
+                (TOKEN, token::MINT),
+                Reg(0),
+                &[Reg(1)],
+                Reg(9),
+                TX_GAS_LIMIT,
+            )
+            .unwrap_err();
+        assert_eq!(err, CompileError::BadArg(2));
+    }
+
+    #[test]
+    fn slot_keys_cannot_escape_the_region() {
+        // A hostile key (u64::MAX) must land inside the contract's own
+        // storage region after lowering.
+        let layout = StateLayout::standard();
+        let bank = ContractBank::library(&layout);
+        let low = Lowerer::new(&bank, &layout);
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(0), 0);
+        b.imm(Reg(1), u64::MAX);
+        low.emit_call(
+            &mut b,
+            (TOKEN, token::BALANCE_OF),
+            Reg(0),
+            &[Reg(1)],
+            Reg(9),
+            TX_GAS_LIMIT,
+        )
+        .unwrap();
+        b.halt();
+        let mem = interpret(b.build(), &HashMap::new());
+        // Nothing was written; the loaded address is untracked here, so
+        // instead check via the reference that the masked slot resolves
+        // in-region for the worst-case key.
+        assert!(mem.is_empty());
+        let addr = layout.slot_addr(TOKEN, u64::MAX ^ layout.account_mask());
+        assert!(addr.line().0 < layout.end_line());
+    }
+
+    #[test]
+    fn storage_trait_object_safety_smoke() {
+        // Storage is used generically; make sure a plain map impl works.
+        let mut s = ImageStorage::new();
+        s.sstore(Addr(16), 9);
+        assert_eq!(s.sload(Addr(16)), 9);
+    }
+}

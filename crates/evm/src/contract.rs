@@ -1,0 +1,338 @@
+//! Contracts: named straight-line functions over the stack-machine ops,
+//! plus the standard two-contract library the scenario generators use.
+//!
+//! The library is deliberately branch-free and built from wrapping
+//! arithmetic only, so every balance movement is commutative: the final
+//! token state after a set of transfers is the same under any
+//! serialization. That property is what lets the differential tests
+//! compare a concurrent run's final memory word-for-word against one
+//! sequential ground-truth execution.
+
+use crate::ops::Op;
+use crate::storage::StateLayout;
+
+/// A contract's index in the [`ContractBank`] (and its storage region in
+/// the [`StateLayout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContractId(pub u8);
+
+/// The token contract.
+pub const TOKEN: ContractId = ContractId(0);
+/// The dex contract.
+pub const DEX: ContractId = ContractId(1);
+
+/// Function indices of the token contract.
+pub mod token {
+    /// `mint(to, amount)` — supply += amount, balance[to] += amount.
+    pub const MINT: u8 = 0;
+    /// `transfer(to, amount)` — balance[caller] -= amount, balance[to] += amount.
+    pub const TRANSFER: u8 = 1;
+    /// `transfer_from(from, to, amount)` — balance[from] -= amount, balance[to] += amount.
+    pub const TRANSFER_FROM: u8 = 2;
+    /// `balance_of(who)` — read-only.
+    pub const BALANCE_OF: u8 = 3;
+    /// Storage slot of the total supply.
+    pub const SUPPLY_SLOT: u64 = 0;
+    /// First storage slot of the balance table (`balance[a]` lives at
+    /// `BALANCE_BASE_SLOT + (a & account_mask)`).
+    pub const BALANCE_BASE_SLOT: u64 = 1;
+}
+
+/// Function indices of the dex contract.
+pub mod dex {
+    /// `swap(amount_in)` — pulls `amount_in` of the token from the
+    /// caller, pays out `reserve_b >> 4` from the dex's own balance.
+    pub const SWAP: u8 = 0;
+    /// `deposit(amount_a, amount_b)` — reserves += amounts.
+    pub const DEPOSIT: u8 = 1;
+    /// Storage slot of reserve A (grows by every swap's `amount_in`).
+    pub const RESERVE_A_SLOT: u64 = 0;
+    /// Storage slot of reserve B (shrinks by every swap's payout).
+    pub const RESERVE_B_SLOT: u64 = 1;
+}
+
+/// One callable contract function: a fixed arity and a straight-line op
+/// sequence ending in [`Op::Stop`].
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name (diagnostics only).
+    pub name: &'static str,
+    /// Number of call arguments.
+    pub arity: u8,
+    /// The body.
+    pub ops: Vec<Op>,
+}
+
+/// A contract: a name plus its function table.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Contract name (diagnostics and per-contract attribution).
+    pub name: &'static str,
+    /// Callable functions, indexed by the `u8` in [`Op::Call`].
+    pub functions: Vec<Function>,
+}
+
+/// The deployed contract set. Both the sequential interpreter and the
+/// TxVM compiler resolve [`Op::Call`] through the same bank.
+#[derive(Debug, Clone)]
+pub struct ContractBank {
+    contracts: Vec<Contract>,
+}
+
+impl ContractBank {
+    /// A bank over an explicit contract list.
+    #[must_use]
+    pub fn new(contracts: Vec<Contract>) -> ContractBank {
+        ContractBank { contracts }
+    }
+
+    /// The contract at `id`.
+    #[must_use]
+    pub fn get(&self, id: ContractId) -> Option<&Contract> {
+        self.contracts.get(id.0 as usize)
+    }
+
+    /// Function `func` of contract `id`.
+    #[must_use]
+    pub fn function(&self, id: ContractId, func: u8) -> Option<&Function> {
+        self.get(id)?.functions.get(func as usize)
+    }
+
+    /// Number of deployed contracts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// `true` when no contracts are deployed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.contracts.is_empty()
+    }
+
+    /// The standard library: the token (contract 0) and the dex
+    /// (contract 1), with balance keys masked to `layout.account_mask()`.
+    #[must_use]
+    pub fn library(layout: &StateLayout) -> ContractBank {
+        let mask = layout.account_mask();
+        ContractBank::new(vec![token_contract(mask), dex_contract(layout)])
+    }
+
+    /// The dex's pseudo-account (holds the swap float): the highest
+    /// account index.
+    #[must_use]
+    pub fn dex_account(layout: &StateLayout) -> u64 {
+        layout.accounts - 1
+    }
+}
+
+/// Emits `[.. a] -> [.. key(a)]` followed by `Dup`+`SLoad`, i.e. leaves
+/// `[key, balance[a]]` on the stack.
+fn balance_key(ops: &mut Vec<Op>, mask: u64) {
+    ops.push(Op::And(mask));
+    ops.push(Op::Push(token::BALANCE_BASE_SLOT));
+    ops.push(Op::Add);
+}
+
+fn token_contract(mask: u64) -> Contract {
+    // mint(to, amount)
+    let mut mint = vec![
+        Op::Push(token::SUPPLY_SLOT),
+        Op::Push(token::SUPPLY_SLOT),
+        Op::SLoad,
+        Op::Arg(1),
+        Op::Add,
+        Op::SStore,
+        Op::Arg(0),
+    ];
+    balance_key(&mut mint, mask);
+    mint.extend([
+        Op::Dup(0),
+        Op::SLoad,
+        Op::Arg(1),
+        Op::Add,
+        Op::SStore,
+        Op::Stop,
+    ]);
+
+    // transfer(to, amount): debit the caller, credit `to`.
+    let mut transfer = vec![Op::Caller];
+    balance_key(&mut transfer, mask);
+    transfer.extend([
+        Op::Dup(0),
+        Op::SLoad,
+        Op::Arg(1),
+        Op::Sub,
+        Op::SStore,
+        Op::Arg(0),
+    ]);
+    balance_key(&mut transfer, mask);
+    transfer.extend([
+        Op::Dup(0),
+        Op::SLoad,
+        Op::Arg(1),
+        Op::Add,
+        Op::SStore,
+        Op::Stop,
+    ]);
+
+    // transfer_from(from, to, amount)
+    let mut transfer_from = vec![Op::Arg(0)];
+    balance_key(&mut transfer_from, mask);
+    transfer_from.extend([
+        Op::Dup(0),
+        Op::SLoad,
+        Op::Arg(2),
+        Op::Sub,
+        Op::SStore,
+        Op::Arg(1),
+    ]);
+    balance_key(&mut transfer_from, mask);
+    transfer_from.extend([
+        Op::Dup(0),
+        Op::SLoad,
+        Op::Arg(2),
+        Op::Add,
+        Op::SStore,
+        Op::Stop,
+    ]);
+
+    // balance_of(who)
+    let mut balance_of = vec![Op::Arg(0)];
+    balance_key(&mut balance_of, mask);
+    balance_of.extend([Op::SLoad, Op::Stop]);
+
+    Contract {
+        name: "token",
+        functions: vec![
+            Function {
+                name: "mint",
+                arity: 2,
+                ops: mint,
+            },
+            Function {
+                name: "transfer",
+                arity: 2,
+                ops: transfer,
+            },
+            Function {
+                name: "transfer_from",
+                arity: 3,
+                ops: transfer_from,
+            },
+            Function {
+                name: "balance_of",
+                arity: 1,
+                ops: balance_of,
+            },
+        ],
+    }
+}
+
+fn dex_contract(layout: &StateLayout) -> Contract {
+    let dex_acct = ContractBank::dex_account(layout);
+
+    // swap(amount_in): pull amount_in caller -> dex, bump reserve A,
+    // compute the payout from reserve B, pay out dex -> caller.
+    let swap = vec![
+        Op::Caller,
+        Op::Push(dex_acct),
+        Op::Arg(0),
+        Op::Call(TOKEN, token::TRANSFER_FROM),
+        Op::Pop,
+        Op::Push(dex::RESERVE_A_SLOT),
+        Op::Push(dex::RESERVE_A_SLOT),
+        Op::SLoad,
+        Op::Arg(0),
+        Op::Add,
+        Op::SStore,
+        Op::Push(dex::RESERVE_B_SLOT),
+        Op::SLoad,
+        Op::Shr(4),
+        Op::MStore(0),
+        Op::Push(dex::RESERVE_B_SLOT),
+        Op::Push(dex::RESERVE_B_SLOT),
+        Op::SLoad,
+        Op::MLoad(0),
+        Op::Sub,
+        Op::SStore,
+        Op::Push(dex_acct),
+        Op::Caller,
+        Op::MLoad(0),
+        Op::Call(TOKEN, token::TRANSFER_FROM),
+        Op::Pop,
+        Op::MLoad(0),
+        Op::Stop,
+    ];
+
+    // deposit(amount_a, amount_b)
+    let deposit = vec![
+        Op::Push(dex::RESERVE_A_SLOT),
+        Op::Push(dex::RESERVE_A_SLOT),
+        Op::SLoad,
+        Op::Arg(0),
+        Op::Add,
+        Op::SStore,
+        Op::Push(dex::RESERVE_B_SLOT),
+        Op::Push(dex::RESERVE_B_SLOT),
+        Op::SLoad,
+        Op::Arg(1),
+        Op::Add,
+        Op::SStore,
+        Op::Stop,
+    ];
+
+    Contract {
+        name: "dex",
+        functions: vec![
+            Function {
+                name: "swap",
+                arity: 1,
+                ops: swap,
+            },
+            Function {
+                name: "deposit",
+                arity: 2,
+                ops: deposit,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_resolves_every_published_index() {
+        let bank = ContractBank::library(&StateLayout::standard());
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.function(TOKEN, token::MINT).unwrap().name, "mint");
+        assert_eq!(
+            bank.function(TOKEN, token::TRANSFER).unwrap().name,
+            "transfer"
+        );
+        assert_eq!(bank.function(TOKEN, token::TRANSFER_FROM).unwrap().arity, 3);
+        assert_eq!(bank.function(TOKEN, token::BALANCE_OF).unwrap().arity, 1);
+        assert_eq!(bank.function(DEX, dex::SWAP).unwrap().name, "swap");
+        assert_eq!(bank.function(DEX, dex::DEPOSIT).unwrap().arity, 2);
+        assert!(bank.function(DEX, 9).is_none());
+        assert!(bank.function(ContractId(7), 0).is_none());
+    }
+
+    #[test]
+    fn bodies_end_in_stop() {
+        let bank = ContractBank::library(&StateLayout::standard());
+        for c in [TOKEN, DEX] {
+            for f in &bank.get(c).unwrap().functions {
+                assert_eq!(*f.ops.last().unwrap(), Op::Stop, "{}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn balance_table_fits_the_storage_region() {
+        let l = StateLayout::standard();
+        assert!(token::BALANCE_BASE_SLOT + l.account_mask() < l.slots_per_contract);
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! `chats-evm`: a smart-contract transaction frontier compiled to TxVM.
+//!
+//! Every other workload in this repository is a synthetic STAMP-pattern
+//! kernel. This crate supplies a *production-shaped* frontier instead: a
+//! small account/storage/gas transaction model — a word-addressed stack
+//! machine with contract calls, in the `Machine` / `Memory` / `Storage`
+//! layering of sputnikvm — plus a compiler that lowers each user
+//! transaction (native transfer, token mint/transfer, contract call with
+//! a bounded gas budget) to TxVM bytecode, so each user transaction
+//! executes as **one hardware transaction** over shared account and
+//! storage cache lines.
+//!
+//! The layers:
+//!
+//! * [`ops`] — the contract instruction set (stack machine opcodes) and
+//!   their static gas costs,
+//! * [`memory`] — the per-call scratch [`memory::Memory`] layer
+//!   (`MLoad`/`MStore` slots),
+//! * [`storage`] — the persistent [`storage::Storage`] layer plus the
+//!   [`storage::StateLayout`] that maps accounts and contract storage
+//!   slots onto the simulator's word-addressed cache lines (one hot
+//!   balance = one hot line),
+//! * [`contract`] — contracts as named functions over ops, with a small
+//!   library (`token`, `dex`) used by the scenario generators,
+//! * [`machine`] — the sequential reference interpreter
+//!   `Machine<M, S>`: ground truth for differential tests,
+//! * [`compile`] — the lowering from a contract call to straight-line
+//!   TxVM code between `tx_begin`/`tx_end`, with compile-time stack
+//!   mapping (stack slots become TxVM registers) and static gas
+//!   metering,
+//! * [`txn`] — user transactions and [`txn::execute_txn`], the
+//!   sequential executor,
+//! * [`scenario`] — deterministic scenario generators (`transfers`,
+//!   `token-storm` with a Zipf-skewed account mix, `dex`
+//!   read-modify-write flows) that emit per-thread TxVM programs, the
+//!   initial memory image, and exact/conservation state checks,
+//! * [`check_kernel`] — counted-sum kernels for `chats-check`'s
+//!   schedule explorer, built through the same compiler.
+//!
+//! Contention shape: hot contracts become hot cache lines (the token
+//! supply word, the dex reserves), pairwise transfers become pairwise
+//! conflicts, and popular-token storms (Zipf-skewed account draws)
+//! become chain stress for CHATS' forwarding chains.
+//!
+//! # Example
+//!
+//! ```
+//! use chats_evm::scenario::{build, ScenarioKind};
+//!
+//! let setup = build(ScenarioKind::TokenStorm, 2, 8, 42);
+//! assert_eq!(setup.programs.len(), 2);
+//! assert_eq!(setup.user_txs, 16);
+//! ```
+
+pub mod check_kernel;
+pub mod compile;
+pub mod contract;
+pub mod machine;
+pub mod memory;
+pub mod ops;
+pub mod scenario;
+pub mod storage;
+pub mod txn;
+
+pub use compile::{CompileError, Lowerer};
+pub use contract::{Contract, ContractBank, ContractId, Function};
+pub use machine::{ExecutionError, Machine};
+pub use memory::{Memory, SeqMemory};
+pub use ops::{GasSchedule, Op};
+pub use storage::{ImageStorage, StateLayout, Storage};
+pub use txn::{execute_txn, Txn};

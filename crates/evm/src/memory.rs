@@ -1,0 +1,64 @@
+//! The per-call scratch memory layer.
+//!
+//! Each call frame gets a fresh, zero-initialised scratch memory of
+//! [`MEM_SLOTS`](crate::ops::MEM_SLOTS) word slots, addressed by
+//! `MLoad`/`MStore`. It is private to the frame: inlined callees get
+//! their own (the compiler dedicates a disjoint register group per call
+//! depth), and it vanishes when the call returns — nothing in it is
+//! transactional state.
+
+use crate::ops::MEM_SLOTS;
+
+/// Scratch-memory interface, in the sputnikvm layering: the `Machine`
+/// drives a `Memory` it does not own the representation of.
+pub trait Memory {
+    /// Reads slot `slot` (zero if never written).
+    fn mload(&self, slot: u8) -> u64;
+    /// Writes slot `slot`.
+    fn mstore(&mut self, slot: u8, value: u64);
+}
+
+/// The reference scratch memory: a fixed array of word slots.
+#[derive(Debug, Clone, Default)]
+pub struct SeqMemory {
+    slots: [u64; MEM_SLOTS],
+}
+
+impl SeqMemory {
+    /// A fresh, zeroed scratch memory.
+    #[must_use]
+    pub fn new() -> SeqMemory {
+        SeqMemory::default()
+    }
+}
+
+impl Memory for SeqMemory {
+    fn mload(&self, slot: u8) -> u64 {
+        self.slots[slot as usize]
+    }
+
+    fn mstore(&mut self, slot: u8, value: u64) {
+        self.slots[slot as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_is_zero() {
+        let m = SeqMemory::new();
+        for s in 0..MEM_SLOTS as u8 {
+            assert_eq!(m.mload(s), 0);
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut m = SeqMemory::new();
+        m.mstore(1, 0xFEED);
+        assert_eq!(m.mload(1), 0xFEED);
+        assert_eq!(m.mload(0), 0);
+    }
+}

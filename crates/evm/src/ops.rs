@@ -1,0 +1,143 @@
+//! The contract instruction set: a word-sized stack machine with static
+//! gas costs.
+//!
+//! Contracts are straight-line op sequences (control flow lives in the
+//! *driver* loops the scenario generators emit, and in static
+//! [`Op::Call`] inlining), which is what makes both the compile-time
+//! stack mapping and the static gas metering exact: the cost of a call
+//! is the sum of its ops, known before the transaction ever runs.
+
+use crate::contract::ContractId;
+
+/// One contract opcode.
+///
+/// Stack effects are written `[before] -> [after]` with the top of the
+/// stack on the right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `[] -> [v]`
+    Push(u64),
+    /// `[v] -> []`
+    Pop,
+    /// `[.. x ..] -> [.. x .. x]` — copies the value `n` below the top
+    /// (`Dup(0)` duplicates the top).
+    Dup(u8),
+    /// Swaps the top with the value `n + 1` below it (`Swap(0)` swaps the
+    /// top two).
+    Swap(u8),
+    /// `[a b] -> [a + b]` (wrapping)
+    Add,
+    /// `[a b] -> [a - b]` (wrapping)
+    Sub,
+    /// `[a b] -> [a * b]` (wrapping)
+    Mul,
+    /// `[a] -> [a >> n]`
+    Shr(u32),
+    /// `[a] -> [a & m]`
+    And(u64),
+    /// `[] -> [caller]` — the transaction's originating account index.
+    Caller,
+    /// `[] -> [args[i]]` — the i-th call argument.
+    Arg(u8),
+    /// `[] -> [memory[slot]]` — per-call scratch memory.
+    MLoad(u8),
+    /// `[v] -> []` — `memory[slot] = v`.
+    MStore(u8),
+    /// `[key] -> [storage[key]]` — persistent contract storage.
+    SLoad,
+    /// `[key value] -> []` — `storage[key] = value`.
+    SStore,
+    /// `[a0 .. an-1] -> [ret]` — calls function `f` (an index into the
+    /// callee's function table) of contract `c` with the top `arity`
+    /// values as arguments (arity comes from the callee's signature); the
+    /// callee's return value replaces them. Calls are inlined at compile
+    /// time and their gas is charged to the calling transaction.
+    Call(ContractId, u8),
+    /// End of execution. The function's return value is the top of the
+    /// stack (0 when the stack is empty).
+    Stop,
+}
+
+/// Static gas cost per opcode class. Storage accesses dominate, as they
+/// do on real chains — and as they do on the simulated machine, where
+/// each `SLoad`/`SStore` is a transactional memory access over a shared
+/// cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GasSchedule {
+    /// Stack manipulation (`Push`, `Pop`, `Dup`, `Swap`, `Caller`, `Arg`).
+    pub stack: u64,
+    /// Arithmetic (`Add`, `Sub`, `Mul`, `Shr`, `And`).
+    pub arith: u64,
+    /// Scratch memory (`MLoad`, `MStore`).
+    pub memory: u64,
+    /// Storage read.
+    pub sload: u64,
+    /// Storage write.
+    pub sstore: u64,
+    /// Call overhead (the callee's ops are charged on top).
+    pub call: u64,
+}
+
+impl Default for GasSchedule {
+    fn default() -> GasSchedule {
+        GasSchedule {
+            stack: 1,
+            arith: 1,
+            memory: 2,
+            sload: 20,
+            sstore: 50,
+            call: 40,
+        }
+    }
+}
+
+impl GasSchedule {
+    /// The cost of one op, *excluding* any inlined callee (the compiler
+    /// and interpreter add callee costs themselves).
+    #[must_use]
+    pub fn cost(&self, op: &Op) -> u64 {
+        match op {
+            Op::Push(_) | Op::Pop | Op::Dup(_) | Op::Swap(_) | Op::Caller | Op::Arg(_) => {
+                self.stack
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Shr(_) | Op::And(_) => self.arith,
+            Op::MLoad(_) | Op::MStore(_) => self.memory,
+            Op::SLoad => self.sload,
+            Op::SStore => self.sstore,
+            Op::Call(..) => self.call,
+            Op::Stop => 0,
+        }
+    }
+}
+
+/// Default per-transaction gas budget. Generously above the library
+/// contracts' needs and far below anything unbounded.
+pub const TX_GAS_LIMIT: u64 = 10_000;
+
+/// Gas charged for a native balance transfer (no contract code runs).
+pub const TRANSFER_GAS: u64 = 21;
+
+/// Maximum call-inline depth (the transaction entry call is depth 1).
+/// Scratch memory is per-frame, so the compiler reserves `MEM_SLOTS`
+/// TxVM registers per depth level.
+pub const MAX_CALL_DEPTH: usize = 3;
+
+/// Contract stack depth limit — bounded by the TxVM registers the
+/// compiler can dedicate to stack slots.
+pub const MAX_STACK: usize = 12;
+
+/// Per-call scratch memory slots.
+pub const MEM_SLOTS: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_dominates_gas() {
+        let g = GasSchedule::default();
+        assert!(g.cost(&Op::SStore) > g.cost(&Op::SLoad));
+        assert!(g.cost(&Op::SLoad) > g.cost(&Op::Add));
+        assert_eq!(g.cost(&Op::Stop), 0);
+    }
+}

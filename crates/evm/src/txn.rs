@@ -1,0 +1,122 @@
+//! User transactions and the sequential executor.
+//!
+//! A [`Txn`] is what a user submits: either a native balance transfer
+//! (no contract code) or a contract call with a gas limit. The scenario
+//! generators produce per-thread `Txn` streams; the TxVM lowering turns
+//! each into one hardware transaction, and [`execute_txn`] replays the
+//! same streams on the reference [`Machine`] to produce the sequential
+//! ground truth.
+
+use crate::contract::ContractId;
+use crate::machine::{ExecutionError, Machine};
+use crate::ops::TRANSFER_GAS;
+use crate::storage::Storage;
+
+/// One user transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Txn {
+    /// Native balance movement: `balance[from] -= amount`,
+    /// `balance[to] += amount`.
+    Transfer {
+        /// Debited account.
+        from: u64,
+        /// Credited account.
+        to: u64,
+        /// Amount moved (wrapping).
+        amount: u64,
+    },
+    /// A bounded-gas contract call.
+    Call {
+        /// Originating account (the `Caller` op's value, inherited by
+        /// inlined callees).
+        caller: u64,
+        /// Callee contract.
+        contract: ContractId,
+        /// Function index in the callee's table.
+        func: u8,
+        /// Call arguments.
+        args: Vec<u64>,
+        /// Gas budget; the transaction is rejected at submission if its
+        /// static gas exceeds it.
+        gas_limit: u64,
+    },
+}
+
+/// Receipt of a sequentially executed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Receipt {
+    /// Return value (0 for transfers).
+    pub ret: u64,
+    /// Gas consumed.
+    pub gas_used: u64,
+}
+
+/// Executes one transaction on the reference machine.
+///
+/// # Errors
+///
+/// Any [`ExecutionError`] from the contract call (never for transfers).
+pub fn execute_txn<S: Storage>(
+    machine: &mut Machine<S>,
+    txn: &Txn,
+) -> Result<Receipt, ExecutionError> {
+    match txn {
+        Txn::Transfer { from, to, amount } => {
+            machine.transfer(*from, *to, *amount);
+            Ok(Receipt {
+                ret: 0,
+                gas_used: TRANSFER_GAS,
+            })
+        }
+        Txn::Call {
+            caller,
+            contract,
+            func,
+            args,
+            gas_limit,
+        } => {
+            let out = machine.call(*caller, *contract, *func, args, *gas_limit)?;
+            Ok(Receipt {
+                ret: out.ret,
+                gas_used: out.gas_used,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{token, ContractBank, TOKEN};
+    use crate::ops::TX_GAS_LIMIT;
+    use crate::storage::{ImageStorage, StateLayout, Storage};
+
+    #[test]
+    fn transfer_and_call_both_execute() {
+        let layout = StateLayout::standard();
+        let mut m = Machine::new(ContractBank::library(&layout), layout, ImageStorage::new());
+        let r = execute_txn(
+            &mut m,
+            &Txn::Transfer {
+                from: 1,
+                to: 2,
+                amount: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.gas_used, TRANSFER_GAS);
+        let r = execute_txn(
+            &mut m,
+            &Txn::Call {
+                caller: 0,
+                contract: TOKEN,
+                func: token::MINT,
+                args: vec![2, 10],
+                gas_limit: TX_GAS_LIMIT,
+            },
+        )
+        .unwrap();
+        assert!(r.gas_used > TRANSFER_GAS);
+        assert_eq!(m.storage().sload(layout.account_addr(2)), 5);
+    }
+}

@@ -13,7 +13,9 @@
 //! Chrome-trace JSON loadable in Perfetto (see EXPERIMENTS.md).
 
 use chats_core::{HtmSystem, PolicyConfig};
-use chats_obs::{chrome_trace, read_jsonl_file, text_report, JsonlSink, ProfileMeta, Timeline};
+use chats_obs::{
+    chrome_trace, read_jsonl_file, text_report_with_regions, JsonlSink, ProfileMeta, Timeline,
+};
 use chats_workloads::{registry, run_workload_traced, FaultPlan, RunConfig};
 use serde::Value;
 use std::path::{Path, PathBuf};
@@ -252,8 +254,14 @@ fn load_timeline(args: &Args) -> Result<(Timeline, ProfileMeta, u64), String> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let (tl, _, dropped) = load_timeline(args)?;
-    print!("{}", text_report(&tl));
+    let (tl, meta, dropped) = load_timeline(args)?;
+    // The meta sidecar names the workload; its memory map (when it has
+    // one — the evm family does) attributes hot lines to contract
+    // regions in the report.
+    let regions = registry::by_name(&meta.workload)
+        .map(|w| w.regions())
+        .unwrap_or_default();
+    print!("{}", text_report_with_regions(&tl, &regions));
     if dropped > 0 {
         eprintln!(
             "chats-trace: WARNING: the recording sink dropped {dropped} event(s); \

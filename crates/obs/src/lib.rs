@@ -54,7 +54,7 @@ mod timeline;
 pub use chrome::chrome_trace;
 pub use jsonl::{read_jsonl, read_jsonl_file, JsonlSink, VecSink};
 pub use profile::{profile_value, ProfileMeta};
-pub use report::text_report;
+pub use report::{text_report, text_report_with_regions};
 pub use timeline::{
     Attempt, AttemptOutcome, ChainStats, CoreTimeline, CycleBreakdown, Interval, NocUsage, Timeline,
 };

@@ -94,6 +94,18 @@ pub fn profile_value(tl: &Timeline, meta: &ProfileMeta) -> Value {
     );
     root.insert("chains".to_string(), Value::Map(chains));
 
+    // The contention heat map (forwardings per line); consumers join it
+    // against the workload's region table for per-contract attribution.
+    root.insert(
+        "hot_lines".to_string(),
+        Value::Map(
+            tl.hot_lines
+                .iter()
+                .map(|(l, n)| (l.to_string(), Value::U64(*n)))
+                .collect(),
+        ),
+    );
+
     let mut noc = BTreeMap::new();
     noc.insert("messages".to_string(), Value::U64(tl.noc.messages));
     noc.insert("flits".to_string(), Value::U64(tl.noc.flits));

@@ -2,6 +2,7 @@
 
 use crate::timeline::{AttemptOutcome, Timeline};
 use chats_stats::{Histogram, Table};
+use chats_workloads::MemRegion;
 use std::fmt::Write as _;
 
 fn pct(part: u64, total: u64) -> String {
@@ -10,6 +11,64 @@ fn pct(part: u64, total: u64) -> String {
     } else {
         format!("{:.1}%", 100.0 * part as f64 / total as f64)
     }
+}
+
+/// [`text_report`] plus contention attribution: when `regions` names the
+/// workload's memory map (see `Workload::regions`), the forwarding heat
+/// map is rendered per line *and* rolled up per region, so a hot contract
+/// slot reads as `token.storage+0` instead of a bare line number.
+#[must_use]
+pub fn text_report_with_regions(tl: &Timeline, regions: &[MemRegion]) -> String {
+    let mut out = text_report(tl);
+    if regions.is_empty() || tl.hot_lines.is_empty() {
+        return out;
+    }
+    let attribute = |line: u64| -> String {
+        regions.iter().find(|r| r.contains(line)).map_or_else(
+            || "(unattributed)".to_string(),
+            |r| format!("{}+{}", r.name, line - r.base_line),
+        )
+    };
+
+    let mut ranked: Vec<(u64, u64)> = tl.hot_lines.iter().map(|(&l, &n)| (l, n)).collect();
+    ranked.sort_by_key(|&(l, n)| (std::cmp::Reverse(n), l));
+    let total: u64 = ranked.iter().map(|&(_, n)| n).sum();
+    const TOP: usize = 8;
+    let _ = writeln!(out);
+    let _ = writeln!(out, "hot lines (forwardings, top {TOP}):");
+    for &(line, n) in ranked.iter().take(TOP) {
+        let _ = writeln!(out, "  line {line:<8} {:<24} {n}", attribute(line));
+    }
+    if ranked.len() > TOP {
+        let _ = writeln!(out, "  ... {} more line(s)", ranked.len() - TOP);
+    }
+
+    let mut by_region: Vec<(&str, u64)> = regions
+        .iter()
+        .map(|r| {
+            let n = ranked
+                .iter()
+                .filter(|&&(l, _)| r.contains(l))
+                .map(|&(_, n)| n)
+                .sum();
+            (r.name, n)
+        })
+        .collect();
+    let unattributed: u64 = ranked
+        .iter()
+        .filter(|&&(l, _)| !regions.iter().any(|r| r.contains(l)))
+        .map(|&(_, n)| n)
+        .sum();
+    if unattributed > 0 {
+        by_region.push(("(unattributed)", unattributed));
+    }
+    by_region.retain(|&(_, n)| n > 0);
+    by_region.sort_by_key(|&(name, n)| (std::cmp::Reverse(n), name));
+    let _ = writeln!(out, "contention by region:");
+    for (name, n) in by_region {
+        let _ = writeln!(out, "  {name:<24} {n:>8}  {}", pct(n, total));
+    }
+    out
 }
 
 /// Renders the per-core cycle-accounting table, chain analytics and NoC
@@ -165,6 +224,69 @@ mod tests {
             !r.contains("faults:"),
             "fault-free report has no section: {r}"
         );
+    }
+
+    #[test]
+    fn hot_lines_attribute_to_regions() {
+        let events = vec![
+            TraceEvent::TxBegin {
+                at: Cycle(0),
+                core: 0,
+            },
+            TraceEvent::TxBegin {
+                at: Cycle(0),
+                core: 1,
+            },
+            TraceEvent::Forward {
+                at: Cycle(3),
+                from: 0,
+                to: 1,
+                line: chats_mem::LineAddr(1025),
+                pic: None,
+            },
+            TraceEvent::Forward {
+                at: Cycle(5),
+                from: 0,
+                to: 1,
+                line: chats_mem::LineAddr(1025),
+                pic: None,
+            },
+            TraceEvent::Forward {
+                at: Cycle(7),
+                from: 1,
+                to: 0,
+                line: chats_mem::LineAddr(9999),
+                pic: None,
+            },
+            TraceEvent::Commit {
+                at: Cycle(10),
+                core: 0,
+            },
+            TraceEvent::Commit {
+                at: Cycle(12),
+                core: 1,
+            },
+        ];
+        let tl = Timeline::rebuild(&events, 20);
+        let regions = [
+            MemRegion {
+                name: "accounts",
+                base_line: 1,
+                lines: 1024,
+            },
+            MemRegion {
+                name: "token.storage",
+                base_line: 1025,
+                lines: 2048,
+            },
+        ];
+        let r = text_report_with_regions(&tl, &regions);
+        assert!(r.contains("token.storage+0"), "{r}");
+        assert!(r.contains("(unattributed)"), "{r}");
+        assert!(r.contains("contention by region:"), "{r}");
+        // Without regions the plain report is unchanged.
+        assert_eq!(text_report_with_regions(&tl, &[]), text_report(&tl));
+        assert!(!text_report(&tl).contains("hot lines"));
     }
 
     #[test]

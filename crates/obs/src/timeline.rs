@@ -185,6 +185,10 @@ pub struct Timeline {
     pub noc: NocUsage,
     /// Fault-injection activity.
     pub faults: FaultActivity,
+    /// Forwardings per conflicting line — the run's contention heat map,
+    /// attributable to named memory regions via
+    /// [`crate::text_report_with_regions`].
+    pub hot_lines: BTreeMap<u64, u64>,
     /// Total simulated cycles (the horizon every core is accounted to).
     pub total_cycles: u64,
 }
@@ -273,6 +277,7 @@ impl Timeline {
                 } => {
                     tl.chains.forwardings += 1;
                     *tl.chains.graph.entry((*from, *to)).or_insert(0) += 1;
+                    *tl.hot_lines.entry(line.0).or_insert(0) += 1;
                     if let Some(p) = pic {
                         if let (Some(v), Some(init)) = (p.value(), Pic::INIT.value()) {
                             let depth = u32::from(v.abs_diff(init));
@@ -609,6 +614,8 @@ mod tests {
         let tl = Timeline::rebuild(&events, 30);
         assert_eq!(tl.chains.forwardings, 2);
         assert_eq!(tl.chains.graph.get(&(0, 1)), Some(&2));
+        assert_eq!(tl.hot_lines.get(&1), Some(&1));
+        assert_eq!(tl.hot_lines.get(&2), Some(&1));
         assert_eq!(tl.chains.pic_depth_hist.get(&0), Some(&1), "INIT = depth 0");
         assert_eq!(
             tl.chains.pic_depth_hist.values().sum::<u64>(),

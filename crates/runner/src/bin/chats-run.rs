@@ -1,9 +1,9 @@
 //! `chats-run`: the experiment-runner command line.
 //!
 //! ```text
-//! chats-run list [SET...] [--smoke] [--filter S]
-//! chats-run run  [SET...] [--jobs N] [--filter S] [--no-cache] [--smoke]
-//!                [--timeout N] [--retries N] [--verify-determinism]
+//! chats-run list [SET...] [--smoke] [--filter S] [--family F]
+//! chats-run run  [SET...] [--jobs N] [--filter S] [--family F] [--no-cache]
+//!                [--smoke] [--timeout N] [--retries N] [--verify-determinism]
 //!                [--faults PLAN.json] [--cache-dir D] [--runs-dir D] [--quiet]
 //! chats-run clean [--cache-dir D] [--runs-dir D] [--runs]
 //! ```
@@ -34,6 +34,9 @@ commands:
 options (run):
   --jobs N                  worker threads (default: available parallelism)
   --filter S                keep only jobs whose label contains S
+  --family F                keep only jobs of one workload family
+                            (stamp, micro or evm); with no SET named,
+                            selects from the union of every set
   --no-cache                ignore and do not write the disk cache
   --smoke                   quick-test scale: 4 cores, atomicity oracle on
   --timeout N               per-attempt wall-clock budget in seconds
@@ -50,13 +53,14 @@ options (run):
   --quiet                   no per-job progress lines
 
 sets: fig1 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-      scaling picwidth chains ablations headline all";
+      scaling picwidth chains ablations headline evm all";
 
 struct Args {
     command: String,
     sets: Vec<String>,
     jobs: Option<usize>,
     filter: Option<String>,
+    family: Option<String>,
     no_cache: bool,
     smoke: bool,
     timeout_secs: Option<u64>,
@@ -78,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         sets: Vec::new(),
         jobs: None,
         filter: None,
+        family: None,
         no_cache: false,
         smoke: false,
         timeout_secs: None,
@@ -95,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--jobs" => args.jobs = Some(parse_num(&value("--jobs")?, "--jobs")?),
             "--filter" => args.filter = Some(value("--filter")?),
+            "--family" => args.family = Some(value("--family")?),
             "--no-cache" => args.no_cache = true,
             "--smoke" => args.smoke = true,
             "--timeout" | "--timeout-secs" => {
@@ -154,11 +160,20 @@ fn build_set(
     default_sets: &[&str],
 ) -> Result<(chats_runner::JobSet, Vec<String>), String> {
     let ids: Vec<String> = if args.sets.is_empty() {
-        default_sets.iter().map(|s| (*s).to_string()).collect()
+        // A bare `--family F` means "everything of that family", not
+        // "that family's slice of fig4+fig5".
+        if args.family.is_some() {
+            vec!["all".to_string()]
+        } else {
+            default_sets.iter().map(|s| (*s).to_string()).collect()
+        }
     } else {
         args.sets.clone()
     };
     let mut set = experiments::union(ids.iter().map(String::as_str), scale)?;
+    if let Some(tag) = &args.family {
+        set.retain_family(tag);
+    }
     if let Some(needle) = &args.filter {
         set.retain_matching(needle);
     }

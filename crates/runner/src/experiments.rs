@@ -76,6 +76,7 @@ pub fn available() -> &'static [&'static str] {
         "chains",
         "ablations",
         "headline",
+        "evm",
     ]
 }
 
@@ -221,6 +222,16 @@ pub fn set(id: &str, scale: Scale) -> Option<JobSet> {
                 }
             }
         }
+        // The smart-contract frontier: every evm scenario under every
+        // system (including LEVC-BE), clean. Fault-plan variants come
+        // from `--faults`, which rehashes the whole set.
+        "evm" => {
+            for w in registry::evm() {
+                for s in HtmSystem::ALL {
+                    jobs.push(job(w.name(), sys(s)));
+                }
+            }
+        }
         "all" => {
             for id in available() {
                 jobs.merge(set(id, scale).expect("available() ids resolve"));
@@ -278,6 +289,13 @@ mod tests {
         for id in available() {
             assert!(all.len() >= set(id, Scale::Quick).unwrap().len(), "{id}");
         }
+    }
+
+    #[test]
+    fn evm_set_is_scenarios_times_all_systems() {
+        let s = set("evm", Scale::Quick).unwrap();
+        assert_eq!(s.len(), registry::evm().len() * HtmSystem::ALL.len());
+        assert!(s.iter().all(|j| j.canonical().contains("|wlspec=evm:v1")));
     }
 
     #[test]

@@ -70,6 +70,13 @@ impl JobSpec {
         if let Some(plan) = &self.config.faults {
             canon.push_str(&format!("|faults={:016x}", plan.hash()));
         }
+        // Same conditional-append pattern for the workload's own scenario
+        // spec (the evm family versions its generators through
+        // `Workload::spec`): spec-less workloads keep their existing ids,
+        // while a generator change rolls every dependent cache entry.
+        if let Some(spec) = registry::by_name(&self.workload).and_then(|w| w.spec()) {
+            canon.push_str(&format!("|wlspec={spec}"));
+        }
         canon
     }
 
@@ -214,6 +221,15 @@ impl JobSet {
         self.ids = self.jobs.iter().map(|j| j.id().0).collect();
     }
 
+    /// Keeps only jobs whose workload belongs to the registry family
+    /// `tag` (`stamp`, `micro` or `evm`). Jobs naming an unknown
+    /// workload are dropped too — they cannot be attributed to a family.
+    pub fn retain_family(&mut self, tag: &str) {
+        self.jobs
+            .retain(|j| registry::by_name(&j.workload).is_some_and(|w| w.family() == tag));
+        self.ids = self.jobs.iter().map(|j| j.id().0).collect();
+    }
+
     /// Installs `plan` on every job (replacing any plan already present)
     /// and rehashes the set — faulted jobs have their own identities and
     /// cache entries, disjoint from the fault-free ones.
@@ -311,6 +327,37 @@ mod tests {
         faulted.config.faults = Some(FaultPlan::lossy_noc());
         assert!(!set.push(faulted));
         assert!(set.push(spec("cadd", HtmSystem::Chats)));
+    }
+
+    #[test]
+    fn workload_spec_joins_the_id_without_disturbing_plain_jobs() {
+        let plain = spec("cadd", HtmSystem::Chats);
+        assert!(
+            !plain.canonical().contains("wlspec"),
+            "spec-less workloads must keep their pre-evm identity"
+        );
+        let evm = spec("evm-token-storm", HtmSystem::Chats);
+        let canon = evm.canonical();
+        assert!(canon.contains("|wlspec=evm:v1:kind=token-storm"), "{canon}");
+        assert_ne!(evm.id(), spec("evm-transfers", HtmSystem::Chats).id());
+    }
+
+    #[test]
+    fn retain_family_selects_by_registry_tag() {
+        let mut set: JobSet = [
+            spec("cadd", HtmSystem::Chats),
+            spec("genome", HtmSystem::Chats),
+            spec("evm-dex", HtmSystem::Chats),
+            spec("evm-transfers", HtmSystem::Power),
+            spec("no-such-workload", HtmSystem::Baseline),
+        ]
+        .into_iter()
+        .collect();
+        set.retain_family("evm");
+        let labels: Vec<String> = set.iter().map(JobSpec::label).collect();
+        assert_eq!(labels, ["evm-dex/chats", "evm-transfers/power"]);
+        set.retain_family("stamp");
+        assert!(set.is_empty());
     }
 
     #[test]

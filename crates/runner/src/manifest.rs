@@ -96,6 +96,7 @@ pub fn manifest_json_with_profile(
     );
 
     let mut events_total: u64 = 0;
+    let mut commits_total: u64 = 0;
     let per_job: Vec<Json> = report
         .records
         .iter()
@@ -121,11 +122,27 @@ pub fn manifest_json_with_profile(
                 .and_then(|id| report.results.get(&id))
             {
                 events_total += stats.events;
+                commits_total += stats.commits;
                 m.insert("events".to_string(), Json::U64(stats.events));
+                m.insert("commits".to_string(), Json::U64(stats.commits));
+                m.insert("cycles".to_string(), Json::U64(stats.cycles));
                 let secs = (r.millis as f64 / 1000.0).max(0.000_5);
                 m.insert(
                     "events_per_sec".to_string(),
                     Json::F64(stats.events as f64 / secs),
+                );
+                // Commit throughput, both in simulated time (deterministic
+                // SLA figure — for the evm family one commit is exactly
+                // one user transaction) and against the host wall clock
+                // (stripped by [`canonical_manifest`] with the other
+                // wall-time fields).
+                m.insert(
+                    "commits_per_mcycle".to_string(),
+                    Json::F64(stats.commits as f64 * 1.0e6 / (stats.cycles.max(1)) as f64),
+                );
+                m.insert(
+                    "commits_per_sec".to_string(),
+                    Json::F64(stats.commits as f64 / secs),
                 );
             }
             if let Some(err) = r.outcome.error() {
@@ -172,6 +189,11 @@ pub fn manifest_json_with_profile(
     root.insert(
         "events_per_sec".to_string(),
         Json::F64(events_total as f64 / (report.wall.as_secs_f64().max(0.000_5))),
+    );
+    root.insert("commits_total".to_string(), Json::U64(commits_total));
+    root.insert(
+        "commits_per_sec".to_string(),
+        Json::F64(commits_total as f64 / (report.wall.as_secs_f64().max(0.000_5))),
     );
     root.insert("jobs".to_string(), Json::Obj(jobs));
     root.insert("cache".to_string(), Json::Obj(cache));
@@ -258,6 +280,7 @@ pub fn canonical_manifest(report: &RunReport, sets: &[String], scale: &str) -> S
             "speedup",
             "workers",
             "events_per_sec",
+            "commits_per_sec",
         ] {
             root.remove(key);
         }
@@ -267,6 +290,7 @@ pub fn canonical_manifest(report: &RunReport, sets: &[String], scale: &str) -> S
                     m.remove("millis");
                     m.remove("worker");
                     m.remove("events_per_sec");
+                    m.remove("commits_per_sec");
                 }
             }
             jobs.sort_by_key(|j| match j.get("id") {
@@ -406,6 +430,39 @@ mod tests {
         assert_eq!(partial.get("commits").and_then(Json::as_u64), Some(7));
         // The document round-trips through the parser.
         assert_eq!(Json::parse(&m.to_pretty()).unwrap(), m);
+    }
+
+    #[test]
+    fn commit_throughput_is_reported_and_canonicalized() {
+        let mut report = sample_report();
+        report.results.insert(
+            0xaa,
+            chats_stats::RunStats {
+                cycles: 2_000_000,
+                commits: 5000,
+                events: 9000,
+                ..chats_stats::RunStats::default()
+            },
+        );
+        let m = manifest_json(&report, &["evm".into()], "quick", "r");
+        assert_eq!(m.get("commits_total").and_then(Json::as_u64), Some(5000));
+        assert!(m.get("commits_per_sec").is_some());
+        let per_job = m.get("per_job").and_then(Json::as_arr).unwrap();
+        assert_eq!(per_job[0].get("commits").and_then(Json::as_u64), Some(5000));
+        assert_eq!(
+            per_job[0].get("cycles").and_then(Json::as_u64),
+            Some(2_000_000)
+        );
+        assert_eq!(
+            per_job[0].get("commits_per_mcycle").and_then(Json::as_f64),
+            Some(2500.0)
+        );
+        // The wall-clock throughput is stripped from the canonical form;
+        // the simulated-time SLA figure survives it.
+        let canon = canonical_manifest(&report, &["evm".into()], "quick");
+        assert!(!canon.contains("commits_per_sec"), "{canon}");
+        assert!(canon.contains("commits_per_mcycle"), "{canon}");
+        assert!(canon.contains("commits_total"), "{canon}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 pub mod bayes;
 pub mod cadd;
+pub mod evm;
 pub mod genome;
 pub mod intruder;
 pub mod kmeans;

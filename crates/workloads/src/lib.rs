@@ -20,6 +20,7 @@
 //! | `yada` | long read-modify-write transactions with migratory locations |
 //! | `llb-l` / `llb-h` (µ) | linked-list walk then modify |
 //! | `cadd` (µ) | hot shared variable written once early, then long read-only sums |
+//! | `evm-transfers` / `evm-token-storm` / `evm-dex` (evm) | smart-contract user-transaction streams compiled to TxVM (see `chats-evm`) |
 //!
 //! Every workload carries an *invariant checker* run against final memory:
 //! committed transactional effects must be exactly serializable (no lost or
@@ -48,6 +49,6 @@ pub use replay::{ThreadTrace, TraceOp, TraceWorkload};
 // `chats-machine` (or `chats-faults`) dependency.
 pub use chats_machine::FaultPlan;
 pub use spec::{
-    run_workload, run_workload_partial, run_workload_traced, RunConfig, RunFailure, RunOutput,
-    ThreadProgram, Workload, WorkloadSetup,
+    run_workload, run_workload_partial, run_workload_traced, MemRegion, RunConfig, RunFailure,
+    RunOutput, ThreadProgram, Workload, WorkloadSetup,
 };

@@ -1,7 +1,7 @@
 //! Workload registry: every benchmark of the paper's evaluation by name.
 
 use crate::kernels::{
-    bayes::Bayes, cadd::Cadd, genome::Genome, intruder::Intruder, kmeans::Kmeans,
+    bayes::Bayes, cadd::Cadd, evm::EvmWorkload, genome::Genome, intruder::Intruder, kmeans::Kmeans,
     labyrinth::Labyrinth, llb::Llb, ssca2::Ssca2, vacation::Vacation, yada::Yada,
 };
 use crate::spec::Workload;
@@ -49,10 +49,33 @@ pub fn micro() -> Vec<Box<dyn Workload>> {
     all().into_iter().filter(|w| w.is_micro()).collect()
 }
 
+/// The `evm` family: smart-contract user-transaction streams (see the
+/// `chats-evm` crate). Kept out of [`all`] so the paper's figure grids
+/// and means stay exactly the paper's benchmark set.
+#[must_use]
+pub fn evm() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(EvmWorkload::transfers()),
+        Box::new(EvmWorkload::token_storm()),
+        Box::new(EvmWorkload::dex()),
+    ]
+}
+
+/// Workloads of one family tag (`stamp`, `micro` or `evm`); an unknown
+/// tag yields an empty list.
+#[must_use]
+pub fn family(tag: &str) -> Vec<Box<dyn Workload>> {
+    all()
+        .into_iter()
+        .chain(evm())
+        .filter(|w| w.family() == tag)
+        .collect()
+}
+
 /// Looks a workload up by its registry name.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
-    all().into_iter().find(|w| w.name() == name)
+    all().into_iter().chain(evm()).find(|w| w.name() == name)
 }
 
 #[cfg(test)]
@@ -82,7 +105,26 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("kmeans-h").is_some());
         assert!(by_name("cadd").is_some());
+        assert!(by_name("evm-token-storm").is_some());
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn evm_family_is_separate_from_the_paper_set() {
+        assert_eq!(evm().len(), 3);
+        assert!(all().iter().all(|w| w.family() != "evm"));
+        for w in evm() {
+            assert_eq!(w.family(), "evm");
+            assert!(w.spec().is_some(), "{} must carry a spec key", w.name());
+        }
+    }
+
+    #[test]
+    fn family_tags_partition_the_registry() {
+        assert_eq!(family("stamp").len(), 9);
+        assert_eq!(family("micro").len(), 3);
+        assert_eq!(family("evm").len(), 3);
+        assert!(family("no-such-family").is_empty());
     }
 
     #[test]

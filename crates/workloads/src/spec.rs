@@ -34,6 +34,27 @@ pub struct WorkloadSetup {
     pub checker: Checker,
 }
 
+/// A named line region of a workload's memory footprint, for hot-line
+/// attribution in observability reports (accounts vs contract storage vs
+/// read-only parameter tables, say).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Region name (e.g. `"token.storage"`).
+    pub name: &'static str,
+    /// First line of the region.
+    pub base_line: u64,
+    /// Line count.
+    pub lines: u64,
+}
+
+impl MemRegion {
+    /// `true` if `line` falls inside this region.
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        (self.base_line..self.base_line + self.lines).contains(&line)
+    }
+}
+
 /// A named transactional kernel.
 pub trait Workload {
     /// Registry name (e.g. `"kmeans-h"`).
@@ -41,6 +62,29 @@ pub trait Workload {
     /// `true` for the microbenchmarks excluded from the paper's means.
     fn is_micro(&self) -> bool {
         false
+    }
+    /// Family tag for registry and CLI filtering: `"stamp"`, `"micro"`,
+    /// or `"evm"`. The default derives it from [`Workload::is_micro`];
+    /// only new families need to override.
+    fn family(&self) -> &'static str {
+        if self.is_micro() {
+            "micro"
+        } else {
+            "stamp"
+        }
+    }
+    /// Content key of the workload's generator parameters, joined into
+    /// job identities by the runner. `None` (the default) means the name
+    /// alone identifies the setup — parameterised generators (the evm
+    /// scenarios) return a string covering every knob, so changing a
+    /// default scale can never alias a stale cache entry.
+    fn spec(&self) -> Option<String> {
+        None
+    }
+    /// Named line regions of the workload's footprint, for per-region
+    /// attribution in reports. Empty (the default) means no attribution.
+    fn regions(&self) -> Vec<MemRegion> {
+        Vec::new()
     }
     /// Builds the programs, memory image and checker for `threads` threads.
     fn setup(&self, threads: usize, seed: u64, rng: &mut SimRng) -> WorkloadSetup;
