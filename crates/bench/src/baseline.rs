@@ -195,6 +195,13 @@ fn contended_program(iters: u64) -> Program {
 /// tens of milliseconds of simulation on the 16-core paper config.
 const CONTENDED_ITERS: u64 = 1000;
 
+/// The contended kernel at the baseline iteration count, shared with the
+/// commitment-overhead bench so both of its arms run the identical
+/// program the off-arm (`measure_case`) runs.
+pub(crate) fn contended_program_for_bench() -> Program {
+    contended_program(CONTENDED_ITERS)
+}
+
 /// Runs the case's `inner` back-to-back simulations inside one timed
 /// region and returns the summed stats plus the wall time of the whole
 /// region. Per-run counters are deterministic, so the sum is too.

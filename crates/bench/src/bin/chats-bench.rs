@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chats-bench baseline [--quick] [--out PATH] [--check PATH] [--tolerance 0.10] [--label NAME]
+//! chats-bench commit-overhead [--quick] [--interval N] [--max-overhead F] [--check PATH] [--out PATH]
 //! ```
 //!
 //! `baseline` measures raw simulator throughput (events/sec, cycles/sec,
@@ -17,23 +18,99 @@
 //!   for the evm cases) where the entry records one.
 //! * `--label NAME` label recorded in the JSON section (default
 //!   `measured`).
+//!
+//! `commit-overhead` measures what arming epoch state commitments costs
+//! (interleaved off/armed arms of the contended cell) and gates the loss
+//! under a ceiling — 5% at the default interval, or the
+//! `commit_overhead.max_overhead` recorded in the `--check` document.
 
-use chats_bench::baseline;
+use chats_bench::{baseline, commit};
 use chats_runner::Json;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: chats-bench baseline [--quick] [--out PATH] [--check PATH] \
-         [--tolerance F] [--label NAME]"
+         [--tolerance F] [--label NAME]\n       \
+         chats-bench commit-overhead [--quick] [--interval N] \
+         [--max-overhead F] [--check PATH] [--out PATH]"
     );
     ExitCode::from(2)
 }
 
+fn cmd_commit_overhead(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut interval = commit::DEFAULT_INTERVAL;
+    let mut max_overhead: Option<f64> = None;
+    let mut check: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--interval" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => interval = n,
+                _ => return usage(),
+            },
+            "--max-overhead" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => max_overhead = Some(f),
+                None => return usage(),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // Ceiling priority: explicit flag, then the committed document's
+    // recorded gate, then the 5%-at-default-interval contract.
+    let ceiling = max_overhead.unwrap_or_else(|| {
+        check
+            .as_deref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|t| Json::parse(&t).ok())
+            .map_or(commit::DEFAULT_MAX_OVERHEAD, |doc| {
+                commit::gate_ceiling(&doc, commit::DEFAULT_MAX_OVERHEAD)
+            })
+    });
+    eprintln!(
+        "chats-bench commit-overhead: measuring at interval {interval} \
+         ({} arms) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let m = commit::measure_overhead(interval, quick);
+    if let Some(path) = out {
+        let doc = commit::overhead_json(&m, ceiling);
+        if let Err(e) = std::fs::write(&path, doc.to_pretty() + "\n") {
+            eprintln!("chats-bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("chats-bench: wrote {path}");
+    }
+    match commit::check_overhead(&m, ceiling) {
+        Ok(report) => {
+            println!("{report}");
+            eprintln!("chats-bench: commitment-overhead gate passed");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprintln!("chats-bench: {report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("baseline") {
-        return usage();
+    match args.first().map(String::as_str) {
+        Some("baseline") => {}
+        Some("commit-overhead") => return cmd_commit_overhead(&args[1..]),
+        _ => return usage(),
     }
     let mut quick = false;
     let mut out: Option<String> = None;

@@ -13,6 +13,7 @@
 //! EXPERIMENTS.md.
 
 pub mod baseline;
+pub mod commit;
 pub mod figures;
 pub mod harness;
 

@@ -5,7 +5,7 @@
 //! chats-check explore [--smoke] [--walks N] [--flips N] [--no-attacks]
 //!                     [--faults PLAN.json] [--filter S]
 //!                     [--failures-dir D] [--out D] [--quiet]
-//! chats-check replay FILE
+//! chats-check replay FILE [--force]
 //! ```
 //!
 //! `explore` sweeps adversarial schedules over the scenario suite and
@@ -31,6 +31,8 @@ commands:
   replay FILE               re-execute a saved reproducer
 
 options:
+  --force                   replay even when the reproducer's spec or
+                            build commitment no longer matches
   --smoke                   small suite and CI-sized budget (deterministic)
   --walks N                 random-walk schedules per scenario
   --flips N                 single-decision perturbations per scenario
@@ -55,6 +57,7 @@ struct Args {
     filter: Option<String>,
     failures_dir: Option<PathBuf>,
     out: Option<PathBuf>,
+    force: bool,
     quiet: bool,
 }
 
@@ -72,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         filter: None,
         failures_dir: None,
         out: None,
+        force: false,
         quiet: false,
     };
     while let Some(arg) = argv.next() {
@@ -85,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
             "--filter" => args.filter = Some(value("--filter")?),
             "--failures-dir" => args.failures_dir = Some(PathBuf::from(value("--failures-dir")?)),
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--force" => args.force = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -262,6 +267,15 @@ fn cmd_replay(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Err(e) = repro.verify_commitments() {
+        if args.force {
+            eprintln!("chats-check: warning: {e} (replaying anyway under --force)");
+        } else {
+            eprintln!("chats-check: refusing to replay: {e}");
+            eprintln!("chats-check: pass --force to replay against the drifted build/spec anyway");
+            return ExitCode::from(2);
+        }
+    }
     println!(
         "replaying {} ({} decisions, expecting {})",
         repro.scenario.name,

@@ -230,12 +230,7 @@ fn handle_failure(
         stats.shrunk_len,
         stats.non_default
     );
-    let repro = Reproducer {
-        scenario: scenario.clone(),
-        prefix: shrunk.clone(),
-        kind,
-        note,
-    };
+    let repro = Reproducer::new(scenario.clone(), shrunk.clone(), kind, note);
     let repro_path = failures_dir.and_then(|dir| match repro.save(dir) {
         Ok(path) => Some(path),
         Err(e) => {

@@ -36,6 +36,7 @@
 //! assert_eq!(again.image_digest, baseline.image_digest);
 //! ```
 
+pub mod dissect;
 pub mod explore;
 pub mod repro;
 pub mod run;
@@ -44,6 +45,9 @@ pub mod schedule;
 pub mod shrink;
 
 pub use chats_machine::FaultPlan;
+pub use dissect::{
+    dissect, DissectOutcome, DissectReport, DissectRequest, DissectSide, Divergence, DivergentEvent,
+};
 pub use explore::{explore, explore_scenario, ExploreBudget, ExploreReport, ScenarioReport};
 pub use repro::{default_failures_dir, Reproducer};
 pub use run::{image_digest, run_scenario, FailureKind, Outcome, RunResult};

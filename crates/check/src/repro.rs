@@ -38,9 +38,71 @@ pub struct Reproducer {
     pub kind: FailureKind,
     /// Human-readable context: how the schedule was found, diagnostics.
     pub note: String,
+    /// Hash of the scenario's canonical form at save time. A replay
+    /// whose scenario canonicalizes differently (the generator changed
+    /// underneath the file) is refused unless forced — it would rebuild
+    /// a different machine and silently chase a different bug. `None`
+    /// on reproducers from before commitments existed.
+    pub spec_commitment: Option<u64>,
+    /// [`chats_machine::build_fingerprint`] of the simulator build that
+    /// found the failure: the final state commitment of a fixed probe
+    /// workload, so any behavioural change to the machine moves it.
+    /// `None` on reproducers from before commitments existed.
+    pub build_commitment: Option<u64>,
 }
 
 impl Reproducer {
+    /// A reproducer for `scenario`, stamped with the scenario's spec
+    /// commitment and the current build's fingerprint.
+    #[must_use]
+    pub fn new(
+        scenario: Scenario,
+        prefix: Vec<u32>,
+        kind: FailureKind,
+        note: String,
+    ) -> Reproducer {
+        let spec_commitment = Some(fnv1a_64(scenario.canonical().as_bytes()));
+        Reproducer {
+            scenario,
+            prefix,
+            kind,
+            note,
+            spec_commitment,
+            build_commitment: Some(chats_machine::build_fingerprint()),
+        }
+    }
+
+    /// Checks the saved commitments against the current scenario
+    /// encoding and simulator build. Unstamped fields (older files) pass.
+    ///
+    /// # Errors
+    ///
+    /// Names the stale commitment and both values; replaying anyway
+    /// (`--force`) is the caller's decision.
+    pub fn verify_commitments(&self) -> Result<(), String> {
+        if let Some(saved) = self.spec_commitment {
+            let now = fnv1a_64(self.scenario.canonical().as_bytes());
+            if saved != now {
+                return Err(format!(
+                    "scenario spec commitment mismatch: saved {saved:016x}, \
+                     current encoding yields {now:016x} — the scenario format \
+                     changed since this reproducer was written"
+                ));
+            }
+        }
+        if let Some(saved) = self.build_commitment {
+            let now = chats_machine::build_fingerprint();
+            if saved != now {
+                return Err(format!(
+                    "build commitment mismatch: saved {saved:016x}, this \
+                     simulator build fingerprints as {now:016x} — machine \
+                     behaviour changed since the failure was recorded, so the \
+                     schedule may no longer reproduce it"
+                ));
+            }
+        }
+        Ok(())
+    }
     /// JSON document (the on-disk format).
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -61,6 +123,18 @@ impl Reproducer {
             Json::Str(self.kind.as_str().to_string()),
         );
         m.insert("note".to_string(), Json::Str(self.note.clone()));
+        if let Some(c) = self.spec_commitment {
+            m.insert(
+                "spec_commitment".to_string(),
+                Json::Str(format!("{c:016x}")),
+            );
+        }
+        if let Some(c) = self.build_commitment {
+            m.insert(
+                "build_commitment".to_string(),
+                Json::Str(format!("{c:016x}")),
+            );
+        }
         Json::Obj(m)
     }
 
@@ -100,11 +174,23 @@ impl Reproducer {
             .and_then(Json::as_str)
             .unwrap_or_default()
             .to_string();
+        let hex_field = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_str()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .map(Some)
+                    .ok_or_else(|| format!("reproducer: '{key}' is not a 16-hex-digit hash")),
+            }
+        };
         Ok(Reproducer {
             scenario,
             prefix,
             kind,
             note,
+            spec_commitment: hex_field("spec_commitment")?,
+            build_commitment: hex_field("build_commitment")?,
         })
     }
 
@@ -164,12 +250,12 @@ mod tests {
     use crate::scenario::smoke_scenarios;
 
     fn sample() -> Reproducer {
-        Reproducer {
-            scenario: smoke_scenarios().remove(0),
-            prefix: vec![0, 3, 0, 1],
-            kind: FailureKind::SumMismatch,
-            note: "found by attack(defer-commits)".to_string(),
-        }
+        Reproducer::new(
+            smoke_scenarios().remove(0),
+            vec![0, 3, 0, 1],
+            FailureKind::SumMismatch,
+            "found by attack(defer-commits)".to_string(),
+        )
     }
 
     #[test]
@@ -196,6 +282,29 @@ mod tests {
         b.prefix.push(2);
         assert_ne!(a.file_name(), b.file_name());
         assert!(a.file_name().starts_with(&a.scenario.name));
+    }
+
+    #[test]
+    fn fresh_commitments_verify_and_stale_ones_are_named() {
+        let r = sample();
+        assert!(r.spec_commitment.is_some() && r.build_commitment.is_some());
+        r.verify_commitments().unwrap();
+
+        let mut stale_spec = r.clone();
+        stale_spec.scenario.seed ^= 1; // scenario drifted under the file
+        let err = stale_spec.verify_commitments().unwrap_err();
+        assert!(err.contains("spec commitment"), "{err}");
+
+        let mut stale_build = r.clone();
+        stale_build.build_commitment = Some(0xDEAD_BEEF);
+        let err = stale_build.verify_commitments().unwrap_err();
+        assert!(err.contains("build commitment"), "{err}");
+
+        // Pre-commitment reproducers (both fields absent) still verify.
+        let mut old = r;
+        old.spec_commitment = None;
+        old.build_commitment = None;
+        old.verify_commitments().unwrap();
     }
 
     #[test]

@@ -48,6 +48,39 @@ impl TimestampSource {
     }
 }
 
+impl chats_snap::Snap for Timestamp {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(Timestamp(r.u64()?))
+    }
+}
+
+impl chats_snap::Snap for TimestampSource {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.next);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(TimestampSource { next: r.u64()? })
+    }
+}
+
+impl chats_snap::Snap for LevcArbiter {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.ts.save(w);
+        self.has_forwarded.save(w);
+        self.has_consumed.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(LevcArbiter {
+            ts: chats_snap::Snap::load(r)?,
+            has_forwarded: chats_snap::Snap::load(r)?,
+            has_consumed: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
 /// Producer-side decision for a conflict under LEVC-BE-Idealized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LevcDecision {

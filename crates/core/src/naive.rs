@@ -69,6 +69,21 @@ impl NaiveValidationCounter {
     }
 }
 
+impl chats_snap::Snap for NaiveValidationCounter {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.budget.save(w);
+        self.remaining.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let budget = u32::load(r)?;
+        let remaining = u32::load(r)?;
+        if budget == 0 || remaining > budget {
+            return Err(r.err("naive counter out of range"));
+        }
+        Ok(NaiveValidationCounter { budget, remaining })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

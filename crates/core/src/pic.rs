@@ -136,6 +136,32 @@ impl Default for Pic {
     }
 }
 
+impl chats_snap::Snap for Pic {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.0.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let v: Option<u8> = chats_snap::Snap::load(r)?;
+        if v == Some(PIC_ENCODING_LIMIT) {
+            return Err(r.err("PiC value collides with the reserved unset encoding"));
+        }
+        Ok(Pic(v))
+    }
+}
+
+impl chats_snap::Snap for PicContext {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.pic.save(w);
+        self.cons.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(PicContext {
+            pic: chats_snap::Snap::load(r)?,
+            cons: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
 impl fmt::Debug for Pic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.0 {

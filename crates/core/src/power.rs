@@ -83,6 +83,21 @@ impl PowerToken {
     }
 }
 
+impl chats_snap::Snap for PowerToken {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.holder.save(w);
+        self.grants.save(w);
+        self.denials.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(PowerToken {
+            holder: chats_snap::Snap::load(r)?,
+            grants: chats_snap::Snap::load(r)?,
+            denials: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

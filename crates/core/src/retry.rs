@@ -130,6 +130,25 @@ impl RetryManager {
     }
 }
 
+impl chats_snap::Snap for RetryManager {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.max_retries.save(w);
+        self.power_threshold.save(w);
+        self.attempts.save(w);
+        self.conflict_aborts.save(w);
+        self.faulted_attempts.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(RetryManager {
+            max_retries: chats_snap::Snap::load(r)?,
+            power_threshold: chats_snap::Snap::load(r)?,
+            attempts: chats_snap::Snap::load(r)?,
+            conflict_aborts: chats_snap::Snap::load(r)?,
+            faulted_attempts: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
 /// The single global fallback lock with eager subscription.
 ///
 /// Transactions read the lock word at `tx_begin` (adding it to their read
@@ -187,6 +206,19 @@ impl FallbackLock {
     #[must_use]
     pub fn contended_acquires(&self) -> u64 {
         self.waiters
+    }
+}
+
+impl chats_snap::Snap for FallbackLock {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.holder.save(w);
+        self.waiters.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(FallbackLock {
+            holder: chats_snap::Snap::load(r)?,
+            waiters: chats_snap::Snap::load(r)?,
+        })
     }
 }
 

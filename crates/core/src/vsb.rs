@@ -149,6 +149,46 @@ impl ValidationStateBuffer {
     }
 }
 
+impl chats_snap::Snap for VsbEntry {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.addr.save(w);
+        self.data.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(VsbEntry {
+            addr: chats_snap::Snap::load(r)?,
+            data: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
+impl chats_snap::Snap for ValidationStateBuffer {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.capacity as u64);
+        self.entries.save(w);
+        w.u64(self.validate_cursor as u64);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let capacity = usize::load(r)?;
+        if capacity == 0 {
+            return Err(r.err("the VSB needs at least one entry"));
+        }
+        let entries: Vec<VsbEntry> = chats_snap::Snap::load(r)?;
+        let validate_cursor = usize::load(r)?;
+        if entries.len() > capacity {
+            return Err(r.err("VSB entries exceed capacity"));
+        }
+        if validate_cursor != 0 && validate_cursor >= entries.len() {
+            return Err(r.err("VSB cursor out of range"));
+        }
+        Ok(ValidationStateBuffer {
+            capacity,
+            entries,
+            validate_cursor,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

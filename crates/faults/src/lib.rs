@@ -613,6 +613,45 @@ impl FaultState {
             .collect()
     }
 
+    /// Serializes the dynamic injection state — RNG position, tallies,
+    /// the validation-drop budget and per-destination sequencing floors —
+    /// prefixed by the plan hash as a guard. The plan itself is not
+    /// written: a restored machine reinstalls the same plan through its
+    /// run configuration before restoring this state over it.
+    pub fn save_state(&self, w: &mut chats_snap::SnapWriter) {
+        use chats_snap::Snap;
+        w.u64(self.plan.hash());
+        self.rng.save(w);
+        self.injected.save(w);
+        w.u64(self.val_drops_left);
+        self.dest_floor.save(w);
+    }
+
+    /// Restores state captured by [`FaultState::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed stream or when the snapshot was taken under a
+    /// different fault plan than the one installed here.
+    pub fn restore_state(
+        &mut self,
+        r: &mut chats_snap::SnapReader<'_>,
+    ) -> Result<(), chats_snap::SnapError> {
+        use chats_snap::Snap;
+        let hash = r.u64()?;
+        if hash != self.plan.hash() {
+            return Err(r.err(format!(
+                "snapshot taken under fault plan {hash:016x}, machine runs {:016x}",
+                self.plan.hash()
+            )));
+        }
+        self.rng = Snap::load(r)?;
+        self.injected = Snap::load(r)?;
+        self.val_drops_left = r.u64()?;
+        self.dest_floor = Snap::load(r)?;
+        Ok(())
+    }
+
     fn note(&mut self, kind: FaultKind) {
         self.injected[kind.index()] += 1;
     }

@@ -8,6 +8,7 @@ use chats_tvm::{Vm, VmSnapshot};
 
 use crate::oracle::Oracle;
 use chats_core::fasthash::{FastHashMap, FastHashSet};
+use chats_snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Execution mode of a core's current thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +163,147 @@ impl CoreState {
     /// transaction (Rrestrict/W heuristic).
     pub fn predicted_writes(&self) -> Option<&FastHashSet<LineAddr>> {
         self.write_predictor.get(&self.tx_site)
+    }
+
+    /// Serializes the complete core state. The VM is written as presence +
+    /// dynamic registers only ([`Vm::save_state`]): the immutable program
+    /// is rebuilt by the workload-construction path before restoring.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match &self.vm {
+            None => w.u8(0),
+            Some(vm) => {
+                w.u8(1);
+                vm.save_state(w);
+            }
+        }
+        self.halted.save(w);
+        self.epoch.save(w);
+        self.mode.save(w);
+        self.snapshot.save(w);
+        self.tx_site.save(w);
+        self.pic.save(w);
+        self.vsb.save(w);
+        self.naive.save(w);
+        self.levc.save(w);
+        self.levc_ts.save(w);
+        self.retry.save(w);
+        self.l1.save(w);
+        self.read_sig.save(w);
+        self.pending_mem.save(w);
+        self.val_req.save(w);
+        self.val_timer_armed.save(w);
+        self.commit_pending.save(w);
+        self.commit_defers.save(w);
+        self.waiting.save(w);
+        self.awaiting_retry.save(w);
+        self.attempt_forwarded.save(w);
+        self.attempt_conflicted.save(w);
+        self.is_power.save(w);
+        self.write_predictor.save(w);
+        self.oracle.save_state(w);
+    }
+
+    /// Restores state captured by [`CoreState::save_state`] over this core.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed stream, or when VM presence disagrees with the
+    /// snapshot (the restored machine must have the same threads loaded).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        match (r.u8()?, self.vm.as_mut()) {
+            (0, None) => {}
+            (1, Some(vm)) => vm.restore_state(r)?,
+            (0, Some(_)) => {
+                return Err(r.err("snapshot has no thread on a core that has one loaded"));
+            }
+            (1, None) => {
+                return Err(r.err("snapshot has a thread on a core with none loaded"));
+            }
+            (t, _) => return Err(r.err(format!("vm presence byte must be 0 or 1, got {t}"))),
+        }
+        self.halted = Snap::load(r)?;
+        self.epoch = Snap::load(r)?;
+        self.mode = Snap::load(r)?;
+        self.snapshot = Snap::load(r)?;
+        self.tx_site = Snap::load(r)?;
+        self.pic = Snap::load(r)?;
+        self.vsb = Snap::load(r)?;
+        self.naive = Snap::load(r)?;
+        self.levc = Snap::load(r)?;
+        self.levc_ts = Snap::load(r)?;
+        self.retry = Snap::load(r)?;
+        self.l1 = Snap::load(r)?;
+        self.read_sig = Snap::load(r)?;
+        self.pending_mem = Snap::load(r)?;
+        self.val_req = Snap::load(r)?;
+        self.val_timer_armed = Snap::load(r)?;
+        self.commit_pending = Snap::load(r)?;
+        self.commit_defers = Snap::load(r)?;
+        self.waiting = Snap::load(r)?;
+        self.awaiting_retry = Snap::load(r)?;
+        self.attempt_forwarded = Snap::load(r)?;
+        self.attempt_conflicted = Snap::load(r)?;
+        self.is_power = Snap::load(r)?;
+        self.write_predictor = Snap::load(r)?;
+        self.oracle.restore_state(r)?;
+        Ok(())
+    }
+}
+
+impl Snap for ExecMode {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            ExecMode::Plain => 0,
+            ExecMode::Tx => 1,
+            ExecMode::Fallback => 2,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => ExecMode::Plain,
+            1 => ExecMode::Tx,
+            2 => ExecMode::Fallback,
+            t => return Err(r.err(format!("ExecMode tag must be 0..=2, got {t}"))),
+        })
+    }
+}
+
+impl Snap for WaitReason {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            WaitReason::None => 0,
+            WaitReason::LockToStart => 1,
+            WaitReason::LockToAcquire => 2,
+            WaitReason::PowerToken => 3,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => WaitReason::None,
+            1 => WaitReason::LockToStart,
+            2 => WaitReason::LockToAcquire,
+            3 => WaitReason::PowerToken,
+            t => return Err(r.err(format!("WaitReason tag must be 0..=3, got {t}"))),
+        })
+    }
+}
+
+impl Snap for PendingMem {
+    fn save(&self, w: &mut SnapWriter) {
+        self.addr.save(w);
+        self.line.save(w);
+        self.getx.save(w);
+        self.is_store.save(w);
+        self.store_value.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PendingMem {
+            addr: Snap::load(r)?,
+            line: Snap::load(r)?,
+            getx: Snap::load(r)?,
+            is_store: Snap::load(r)?,
+            store_value: Snap::load(r)?,
+        })
     }
 }
 

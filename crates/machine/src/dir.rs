@@ -8,6 +8,7 @@
 use crate::msg::Request;
 use chats_core::fasthash::{FastHashMap, FastHashSet};
 use chats_mem::{BackingStore, Line, LineAddr};
+use chats_snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Stable directory state of one line.
@@ -151,6 +152,105 @@ impl Directory {
 impl Default for Directory {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Snap for DirState {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            DirState::Uncached => w.u8(0),
+            DirState::Shared(cores) => {
+                w.u8(1);
+                cores.save(w);
+            }
+            DirState::Owned(core) => {
+                w.u8(2);
+                core.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => DirState::Uncached,
+            1 => DirState::Shared(Snap::load(r)?),
+            2 => DirState::Owned(Snap::load(r)?),
+            t => return Err(r.err(format!("DirState tag must be 0..=2, got {t}"))),
+        })
+    }
+}
+
+impl Snap for DirLine {
+    fn save(&self, w: &mut SnapWriter) {
+        self.state.save(w);
+        self.busy.save(w);
+        self.queue.save(w);
+        self.pending_invs.save(w);
+        self.inv_refused.save(w);
+        self.invalidated.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DirLine {
+            state: Snap::load(r)?,
+            busy: Snap::load(r)?,
+            queue: Snap::load(r)?,
+            pending_invs: Snap::load(r)?,
+            inv_refused: Snap::load(r)?,
+            invalidated: Snap::load(r)?,
+        })
+    }
+}
+
+impl Directory {
+    /// Serializes the full directory: per-line state (dense span in index
+    /// order, spill in sorted-key order), the backing store, and the warm
+    /// bits. The dense span's grown length is part of the stream — restore
+    /// reproduces the exact geometry, keeping subsequent snapshots of the
+    /// restored machine byte-identical to the uninterrupted run's.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.dense.save(w);
+        self.spill.save(w);
+        self.store.save(w);
+        self.warm_bits.save(w);
+        self.warm_spill.save(w);
+    }
+
+    /// Restores state captured by [`Directory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed stream or spill keys inside the dense span.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let dense: Vec<DirLine> = Snap::load(r)?;
+        if dense.len() > DENSE_DIR_LINES {
+            return Err(r.err(format!(
+                "dense directory span {} exceeds the {DENSE_DIR_LINES}-line maximum",
+                dense.len()
+            )));
+        }
+        let spill: FastHashMap<LineAddr, DirLine> = Snap::load(r)?;
+        if let Some(k) = spill
+            .keys()
+            .find(|a| (a.index() as usize) < DENSE_DIR_LINES)
+        {
+            return Err(r.err(format!(
+                "spill directory line {k} belongs to the dense span"
+            )));
+        }
+        let store: BackingStore = Snap::load(r)?;
+        let warm_bits: Vec<u64> = Snap::load(r)?;
+        let warm_spill: FastHashSet<LineAddr> = Snap::load(r)?;
+        if let Some(k) = warm_spill
+            .iter()
+            .find(|a| (a.index() as usize) < DENSE_DIR_LINES)
+        {
+            return Err(r.err(format!("spill warm bit {k} belongs to the dense span")));
+        }
+        self.dense = dense;
+        self.spill = spill;
+        self.store = store;
+        self.warm_bits = warm_bits;
+        self.warm_spill = warm_spill;
+        Ok(())
     }
 }
 

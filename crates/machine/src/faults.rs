@@ -114,6 +114,11 @@ pub struct FailureReport {
     pub cores: Vec<CoreSnapshot>,
     /// The most recent trace events, oldest first, pre-formatted.
     pub recent_events: Vec<String>,
+    /// Full state commitment of the machine at the instant the watchdog
+    /// fired (see `Machine::state_commitment`). Two runs that stall
+    /// identically carry identical commitments, so reproducers can assert
+    /// the replay reached the very same stuck state.
+    pub state_commitment: u64,
 }
 
 impl fmt::Display for FailureReport {
@@ -131,6 +136,7 @@ impl fmt::Display for FailureReport {
             },
             self.fault_injections,
         )?;
+        writeln!(f, "  state commitment: {:016x}", self.state_commitment)?;
         for c in &self.cores {
             writeln!(f, "  {c}")?;
         }
@@ -165,6 +171,27 @@ impl Watchdog {
             next_check: horizon,
             last_progress: vec![0; cores],
         }
+    }
+}
+
+impl chats_snap::Snap for Watchdog {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.horizon);
+        w.u64(self.check_every);
+        w.u64(self.next_check);
+        self.last_progress.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let horizon = r.u64()?;
+        if horizon == 0 {
+            return Err(r.err("watchdog horizon must be nonzero"));
+        }
+        Ok(Watchdog {
+            horizon,
+            check_every: r.u64()?,
+            next_check: r.u64()?,
+            last_progress: chats_snap::Snap::load(r)?,
+        })
     }
 }
 
@@ -280,6 +307,10 @@ impl Machine {
     }
 
     fn watchdog_fire(&mut self, horizon: u64, stalled: Vec<usize>) -> SimError {
+        // Hash before recording WatchdogFired: trace sinks are outside the
+        // commitment, but keeping the capture point first makes the value
+        // independent of whatever the trace machinery does below.
+        let state_commitment = self.state_commitment().full;
         for &core in &stalled {
             self.trace.record(TraceEvent::WatchdogFired {
                 at: self.clock,
@@ -300,6 +331,7 @@ impl Machine {
             fault_injections: self.fault_injections(),
             cores,
             recent_events,
+            state_commitment,
         };
         SimError::WatchdogStall {
             report: Box::new(report),

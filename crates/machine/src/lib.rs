@@ -51,6 +51,7 @@
 //! assert_eq!(m.inspect_word(chats_mem::Addr(0)), 18); // 2 threads × 9 increments
 //! ```
 
+mod commit;
 mod conflict;
 mod core_state;
 mod dir;
@@ -63,9 +64,12 @@ mod protocol;
 mod trace;
 mod validate;
 
+pub use commit::{
+    build_fingerprint, hash_bytes, EpochCommitment, StateCommitment, DEFAULT_COMMIT_INTERVAL,
+};
 pub use core_state::ExecMode;
 pub use faults::{CoreSnapshot, FailureReport};
-pub use machine::{DecisionHook, Machine, SimError, Tuning, Violation};
+pub use machine::{DecisionHook, Machine, RunProgress, SimError, Tuning, Violation};
 pub use trace::{NullSink, RingSink, TraceEvent, TraceSink};
 
 // Re-exported so downstream crates (runner, checker, observability) can

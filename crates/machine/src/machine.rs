@@ -228,6 +228,25 @@ pub struct Machine {
     pub(crate) seed: u64,
     pub(crate) faults: Option<chats_faults::FaultState>,
     pub(crate) watchdog: Option<crate::faults::Watchdog>,
+    /// Initial `CoreStep` events have been seeded (guards re-entry of the
+    /// run loop after a pause or a checkpoint restore).
+    pub(crate) started: bool,
+    /// Epoch-commitment bookkeeping (disarmed by default).
+    pub(crate) commit: crate::commit::CommitTracker,
+}
+
+/// Outcome of a bounded run segment ([`Machine::run_to`]).
+#[derive(Debug)]
+pub enum RunProgress {
+    /// Every event before `at` was processed; the machine is paused at the
+    /// cycle boundary and can be checkpointed or resumed with another
+    /// [`Machine::run_to`] / [`Machine::run`] call.
+    Paused {
+        /// The pause boundary that was reached.
+        at: u64,
+    },
+    /// The run completed (every thread halted); carries the final stats.
+    Done(RunStats),
 }
 
 impl fmt::Debug for Machine {
@@ -289,6 +308,8 @@ impl Machine {
             seed,
             faults: None,
             watchdog: None,
+            started: false,
+            commit: crate::commit::CommitTracker::default(),
         }
     }
 
@@ -603,6 +624,67 @@ impl Machine {
     /// Returns [`SimError::Timeout`] if any thread is still running at
     /// `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        self.advance(None, max_cycles)?;
+        self.finish_run()?;
+        // Return the stats by move; `self.stats` is left defaulted. Callers
+        // that want post-run access keep the returned value (the error
+        // paths above never take this branch, so `Machine::stats` still
+        // reflects the failed run for diagnostics).
+        Ok(std::mem::take(&mut self.stats))
+    }
+
+    /// Runs until every event before the `pause_at` cycle boundary has
+    /// been processed (or the run completes first). At a pause the machine
+    /// sits exactly at the boundary — [`Machine::checkpoint`] there and a
+    /// later restore resumes the run with byte-identical behaviour. The
+    /// pause boundary follows the same semantics as an epoch boundary:
+    /// when `pause_at` is a multiple of the armed commit interval, that
+    /// boundary's commitment is already on the chain when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Machine::run`].
+    pub fn run_to(&mut self, pause_at: u64, max_cycles: u64) -> Result<RunProgress, SimError> {
+        if self.advance(Some(pause_at), max_cycles)? {
+            self.finish_run()?;
+            return Ok(RunProgress::Done(std::mem::take(&mut self.stats)));
+        }
+        Ok(RunProgress::Paused { at: pause_at })
+    }
+
+    /// Dispatches exactly one event: the dissection primitive. Seeds the
+    /// initial events on the first call (like [`Machine::run`]), then pops
+    /// and dispatches the next event, returning its time and a rendered
+    /// description. Returns `Ok(None)` once the queue is empty. Commit
+    /// boundaries are *not* recorded — single-stepping callers hash the
+    /// state themselves via [`Machine::state_commitment`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates a watchdog stall, exactly as the run loop would.
+    pub fn step_one(&mut self) -> Result<Option<(u64, String)>, SimError> {
+        self.seed_initial_steps();
+        let Some((t, ev)) = self.next_event() else {
+            return Ok(None);
+        };
+        let desc = format!("{ev:?}");
+        self.clock = t;
+        self.stats.events += 1;
+        if self.watchdog.is_some() {
+            if let Some(err) = self.watchdog_check() {
+                return Err(err);
+            }
+        }
+        self.dispatch(ev);
+        Ok(Some((t.0, desc)))
+    }
+
+    /// Pushes the initial `CoreStep` events, once per machine lifetime.
+    fn seed_initial_steps(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         for core in 0..self.cores.len() {
             if self.cores[core].vm.is_some() && !self.cores[core].halted {
                 let epoch = self.cores[core].epoch;
@@ -611,10 +693,29 @@ impl Machine {
                     .push(Cycle(core as u64), Event::CoreStep { core, epoch });
             }
         }
-        while let Some((t, ev)) = self.next_event() {
+    }
+
+    /// The run loop: processes events until the queue drains, every thread
+    /// halts (→ `Ok(true)`), or every event before `pause_at` is done
+    /// (→ `Ok(false)`). Epoch-commitment boundaries are recorded before
+    /// the pause check, so a pause on a boundary has its commitment on the
+    /// chain already.
+    fn advance(&mut self, pause_at: Option<u64>, max_cycles: u64) -> Result<bool, SimError> {
+        self.seed_initial_steps();
+        loop {
+            let Some(t) = self.events.peek_time() else {
+                return Ok(true);
+            };
             if t.0 > max_cycles {
                 return Err(SimError::Timeout { at_cycle: t.0 });
             }
+            if self.commit.interval.is_some() {
+                self.note_commit_boundaries(t.0);
+            }
+            if pause_at.is_some_and(|p| t.0 >= p) {
+                return Ok(false);
+            }
+            let (t, ev) = self.next_event().expect("peeked event vanished");
             self.clock = t;
             self.stats.events += 1;
             if self.watchdog.is_some() {
@@ -624,9 +725,13 @@ impl Machine {
             }
             self.dispatch(ev);
             if self.halted == self.cores.len() {
-                break;
+                return Ok(true);
             }
         }
+    }
+
+    /// Post-loop epilogue: deadlock diagnosis and final stat folding.
+    fn finish_run(&mut self) -> Result<(), SimError> {
         if self.halted != self.cores.len() {
             if let Some(err) = self.watchdog_drain_report() {
                 return Err(err);
@@ -637,11 +742,7 @@ impl Machine {
             });
         }
         self.finish_stats();
-        // Return the stats by move; `self.stats` is left defaulted. Callers
-        // that want post-run access keep the returned value (the error
-        // paths above never take this branch, so `Machine::stats` still
-        // reflects the failed run for diagnostics).
-        Ok(std::mem::take(&mut self.stats))
+        Ok(())
     }
 
     /// Pops the next event. With a schedule hook installed, same-cycle ties

@@ -2,6 +2,7 @@
 
 use chats_core::{Pic, Timestamp};
 use chats_mem::{Line, LineAddr};
+use chats_snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// A coherence request as it travels to the directory. Carries the HTM
 /// metadata the paper piggybacks on coherence traffic: the requester's PiC,
@@ -171,4 +172,243 @@ pub enum Event {
         /// The message.
         msg: CoreMsg,
     },
+}
+
+// ---- canonical encodings (state commitments and checkpoints) ----------
+//
+// Every in-flight message and queued event is part of the machine state a
+// commitment must cover. Enum variants are tagged with small fixed bytes;
+// tags are stable across builds (append-only).
+
+impl Snap for Request {
+    fn save(&self, w: &mut SnapWriter) {
+        self.core.save(w);
+        self.line.save(w);
+        self.getx.save(w);
+        self.pic.save(w);
+        self.power.save(w);
+        self.non_tx.save(w);
+        self.levc_ts.save(w);
+        self.levc_consumed.save(w);
+        self.epoch.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Request {
+            core: Snap::load(r)?,
+            line: Snap::load(r)?,
+            getx: Snap::load(r)?,
+            pic: Snap::load(r)?,
+            power: Snap::load(r)?,
+            non_tx: Snap::load(r)?,
+            levc_ts: Snap::load(r)?,
+            levc_consumed: Snap::load(r)?,
+            epoch: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for CoreMsg {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            CoreMsg::Data {
+                line,
+                data,
+                excl,
+                epoch,
+            } => {
+                w.u8(0);
+                line.save(w);
+                data.save(w);
+                excl.save(w);
+                epoch.save(w);
+            }
+            CoreMsg::SpecResp {
+                line,
+                data,
+                pic,
+                epoch,
+            } => {
+                w.u8(1);
+                line.save(w);
+                data.save(w);
+                pic.save(w);
+                epoch.save(w);
+            }
+            CoreMsg::Nack { line, epoch } => {
+                w.u8(2);
+                line.save(w);
+                epoch.save(w);
+            }
+            CoreMsg::Probe { req } => {
+                w.u8(3);
+                req.save(w);
+            }
+            CoreMsg::Inv { req } => {
+                w.u8(4);
+                req.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => CoreMsg::Data {
+                line: Snap::load(r)?,
+                data: Snap::load(r)?,
+                excl: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            1 => CoreMsg::SpecResp {
+                line: Snap::load(r)?,
+                data: Snap::load(r)?,
+                pic: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            2 => CoreMsg::Nack {
+                line: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            3 => CoreMsg::Probe {
+                req: Snap::load(r)?,
+            },
+            4 => CoreMsg::Inv {
+                req: Snap::load(r)?,
+            },
+            t => return Err(r.err(format!("CoreMsg tag must be 0..=4, got {t}"))),
+        })
+    }
+}
+
+impl Snap for ProbeOutcome {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            ProbeOutcome::Shared { owner } => {
+                w.u8(0);
+                owner.save(w);
+            }
+            ProbeOutcome::Transferred => w.u8(1),
+            ProbeOutcome::NotServiced => w.u8(2),
+            ProbeOutcome::Canceled => w.u8(3),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => ProbeOutcome::Shared {
+                owner: Snap::load(r)?,
+            },
+            1 => ProbeOutcome::Transferred,
+            2 => ProbeOutcome::NotServiced,
+            3 => ProbeOutcome::Canceled,
+            t => return Err(r.err(format!("ProbeOutcome tag must be 0..=3, got {t}"))),
+        })
+    }
+}
+
+impl Snap for DirMsg {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            DirMsg::Request(req) => {
+                w.u8(0);
+                req.save(w);
+            }
+            DirMsg::ProbeDone { req, outcome } => {
+                w.u8(1);
+                req.save(w);
+                outcome.save(w);
+            }
+            DirMsg::InvAck { req, core, refused } => {
+                w.u8(2);
+                req.save(w);
+                core.save(w);
+                refused.save(w);
+            }
+            DirMsg::WbTiming => w.u8(3),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => DirMsg::Request(Snap::load(r)?),
+            1 => DirMsg::ProbeDone {
+                req: Snap::load(r)?,
+                outcome: Snap::load(r)?,
+            },
+            2 => DirMsg::InvAck {
+                req: Snap::load(r)?,
+                core: Snap::load(r)?,
+                refused: Snap::load(r)?,
+            },
+            3 => DirMsg::WbTiming,
+            t => return Err(r.err(format!("DirMsg tag must be 0..=3, got {t}"))),
+        })
+    }
+}
+
+impl Snap for Event {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Event::CoreStep { core, epoch } => {
+                w.u8(0);
+                core.save(w);
+                epoch.save(w);
+            }
+            Event::RetryTx { core, epoch } => {
+                w.u8(1);
+                core.save(w);
+                epoch.save(w);
+            }
+            Event::MemRetry { core, epoch } => {
+                w.u8(2);
+                core.save(w);
+                epoch.save(w);
+            }
+            Event::ValidationTick { core, epoch } => {
+                w.u8(3);
+                core.save(w);
+                epoch.save(w);
+            }
+            Event::CommitRelease { core, epoch } => {
+                w.u8(4);
+                core.save(w);
+                epoch.save(w);
+            }
+            Event::DirRecv(msg) => {
+                w.u8(5);
+                msg.save(w);
+            }
+            Event::CoreRecv { core, msg } => {
+                w.u8(6);
+                core.save(w);
+                msg.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Event::CoreStep {
+                core: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            1 => Event::RetryTx {
+                core: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            2 => Event::MemRetry {
+                core: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            3 => Event::ValidationTick {
+                core: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            4 => Event::CommitRelease {
+                core: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            },
+            5 => Event::DirRecv(Snap::load(r)?),
+            6 => Event::CoreRecv {
+                core: Snap::load(r)?,
+                msg: Snap::load(r)?,
+            },
+            t => return Err(r.err(format!("Event tag must be 0..=6, got {t}"))),
+        })
+    }
 }

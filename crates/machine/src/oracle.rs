@@ -99,6 +99,26 @@ impl Oracle {
     pub(crate) fn read_log(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.reads.iter().map(|(a, v)| (*a, *v))
     }
+
+    /// Serializes the observation log (maps spill in sorted-key order).
+    pub(crate) fn save_state(&self, w: &mut chats_snap::SnapWriter) {
+        use chats_snap::Snap;
+        self.enabled.save(w);
+        self.reads.save(w);
+        self.writes.save(w);
+    }
+
+    /// Restores state captured by [`Oracle::save_state`].
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut chats_snap::SnapReader<'_>,
+    ) -> Result<(), chats_snap::SnapError> {
+        use chats_snap::Snap;
+        self.enabled = Snap::load(r)?;
+        self.reads = Snap::load(r)?;
+        self.writes = Snap::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

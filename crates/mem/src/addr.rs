@@ -84,6 +84,24 @@ impl LineAddr {
     }
 }
 
+impl chats_snap::Snap for Addr {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(Addr(r.u64()?))
+    }
+}
+
+impl chats_snap::Snap for LineAddr {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(LineAddr(r.u64()?))
+    }
+}
+
 impl fmt::Debug for LineAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "L{:#x}", self.0)

@@ -273,6 +273,78 @@ impl Cache {
     }
 }
 
+impl chats_snap::Snap for CoherenceState {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u8(match self {
+            CoherenceState::Invalid => 0,
+            CoherenceState::Shared => 1,
+            CoherenceState::Exclusive => 2,
+            CoherenceState::Modified => 3,
+        });
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => CoherenceState::Invalid,
+            1 => CoherenceState::Shared,
+            2 => CoherenceState::Exclusive,
+            3 => CoherenceState::Modified,
+            t => return Err(r.err(format!("bad CoherenceState tag {t}"))),
+        })
+    }
+}
+
+impl chats_snap::Snap for CacheEntry {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.addr.save(w);
+        self.state.save(w);
+        self.data.save(w);
+        self.sm.save(w);
+        self.spec_received.save(w);
+        w.u64(self.lru);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(CacheEntry {
+            addr: chats_snap::Snap::load(r)?,
+            state: chats_snap::Snap::load(r)?,
+            data: chats_snap::Snap::load(r)?,
+            sm: chats_snap::Snap::load(r)?,
+            spec_received: chats_snap::Snap::load(r)?,
+            lru: r.u64()?,
+        })
+    }
+}
+
+// Entries are saved in stored (set, way) order, not sorted: way order
+// inside a set is deterministic machine state (`gang_invalidate_speculative`
+// reports dropped lines in way order), so it must survive a round-trip
+// exactly. The `lru` stamps and `lru_clock` travel verbatim for the same
+// reason.
+impl chats_snap::Snap for Cache {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.sets as u64);
+        w.u64(self.ways as u64);
+        self.entries.save(w);
+        w.u64(self.lru_clock);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let sets = usize::load(r)?;
+        let ways = usize::load(r)?;
+        if sets == 0 || ways == 0 {
+            return Err(r.err("cache geometry must be non-zero"));
+        }
+        let entries: Vec<Vec<CacheEntry>> = chats_snap::Snap::load(r)?;
+        if entries.len() != sets || entries.iter().any(|s| s.len() > ways) {
+            return Err(r.err("cache entries do not fit the recorded geometry"));
+        }
+        Ok(Cache {
+            sets,
+            ways,
+            entries,
+            lru_clock: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

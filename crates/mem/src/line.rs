@@ -59,6 +59,17 @@ impl Line {
     }
 }
 
+impl chats_snap::Snap for Line {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.words.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(Line {
+            words: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
 impl fmt::Debug for Line {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Line{:x?}", self.words)

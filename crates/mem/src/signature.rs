@@ -105,6 +105,33 @@ impl ReadSignature {
     }
 }
 
+// Canonical form: the insertion log (order is state — `clear` drains it)
+// plus the spill set in sorted order. The bitmap is derived, so it is
+// rebuilt on load rather than serialized; its grown-but-clear capacity
+// never influences behaviour or future encodings.
+impl chats_snap::Snap for ReadSignature {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.log.save(w);
+        self.spill.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let log: Vec<LineAddr> = chats_snap::Snap::load(r)?;
+        let spill: FastHashSet<LineAddr> = chats_snap::Snap::load(r)?;
+        let mut sig = ReadSignature::new();
+        for &line in &log {
+            if line.index() >= DENSE_SIG_LINES {
+                return Err(r.err("spill-region line in the dense log"));
+            }
+            sig.insert(line);
+        }
+        if sig.log != log {
+            return Err(r.err("duplicate lines in the dense log"));
+        }
+        sig.spill = spill;
+        Ok(sig)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

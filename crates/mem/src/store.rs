@@ -154,6 +154,48 @@ impl BackingStore {
     }
 }
 
+// Canonical form: present dense lines in index order, then the sparse
+// map in sorted-key order. Replaying them through `write_line` on load
+// regrows the dense array and presence bitmap to exactly the sizes the
+// original reached (both depend only on the highest touched line), so a
+// restored store is indistinguishable from the original.
+impl chats_snap::Snap for BackingStore {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.dense_touched as u64);
+        for (i, line) in self.dense.iter().enumerate() {
+            if self.is_present(i) {
+                w.u64(i as u64);
+                line.save(w);
+            }
+        }
+        self.sparse.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let n = r.len_prefix(8 + 64)?;
+        let mut store = BackingStore::new();
+        for _ in 0..n {
+            let idx = r.u64()?;
+            if idx as usize >= DENSE_LINES {
+                return Err(r.err(format!("dense line index {idx} out of range")));
+            }
+            let line = Line::load(r)?;
+            store.write_line(LineAddr(idx), line);
+        }
+        if store.dense_touched != n {
+            return Err(r.err("duplicate dense line index"));
+        }
+        store.sparse = chats_snap::Snap::load(r)?;
+        if store
+            .sparse
+            .keys()
+            .any(|a| (a.index() as usize) < DENSE_LINES)
+        {
+            return Err(r.err("dense-region line in the sparse map"));
+        }
+        Ok(store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

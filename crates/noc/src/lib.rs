@@ -133,6 +133,43 @@ impl Crossbar {
         self.control_msgs = 0;
         self.data_msgs = 0;
     }
+
+    /// Serializes the dynamic network state: port occupancy and flit
+    /// counters. The configuration is not written — a restored crossbar
+    /// is rebuilt from the machine's config first.
+    pub fn save_state(&self, w: &mut chats_snap::SnapWriter) {
+        use chats_snap::Snap;
+        self.egress_free.save(w);
+        w.u64(self.flits);
+        w.u64(self.control_msgs);
+        w.u64(self.data_msgs);
+    }
+
+    /// Restores state captured by [`Crossbar::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed stream or a node count that does not match
+    /// this crossbar's geometry.
+    pub fn restore_state(
+        &mut self,
+        r: &mut chats_snap::SnapReader<'_>,
+    ) -> Result<(), chats_snap::SnapError> {
+        use chats_snap::Snap;
+        let egress_free: Vec<Cycle> = Snap::load(r)?;
+        if egress_free.len() != self.egress_free.len() {
+            return Err(r.err(format!(
+                "crossbar has {} nodes, snapshot has {}",
+                self.egress_free.len(),
+                egress_free.len()
+            )));
+        }
+        self.egress_free = egress_free;
+        self.flits = r.u64()?;
+        self.control_msgs = r.u64()?;
+        self.data_msgs = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

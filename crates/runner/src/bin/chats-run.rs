@@ -45,6 +45,13 @@ options (run):
   --verify-determinism      run every executed job twice, demand identical stats
   --faults PLAN.json        install the fault plan on every job (the plan
                             hash joins each job's cache identity)
+  --checkpoint-every N      pause every executed job each N simulated
+                            cycles, snapshot it under
+                            <cache-dir>/checkpoints/, and record its
+                            epoch-commitment chain in the manifest
+  --resume                  restore interrupted jobs from their last
+                            checkpoint instead of restarting at cycle 0
+                            (needs --checkpoint-every)
   --cache-dir D             cache directory (default target/chats-cache)
   --runs-dir D              manifest directory (default target/chats-runs)
   --profile LABEL           re-run the job matching LABEL with tracing and
@@ -67,6 +74,8 @@ struct Args {
     retries: Option<u32>,
     verify_determinism: bool,
     faults: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
     cache_dir: Option<PathBuf>,
     runs_dir: Option<PathBuf>,
     profile: Option<String>,
@@ -89,6 +98,8 @@ fn parse_args() -> Result<Args, String> {
         retries: None,
         verify_determinism: false,
         faults: None,
+        checkpoint_every: None,
+        resume: false,
         cache_dir: None,
         runs_dir: None,
         profile: None,
@@ -108,6 +119,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--retries" => args.retries = Some(parse_num(&value("--retries")?, "--retries")?),
             "--faults" => args.faults = Some(PathBuf::from(value("--faults")?)),
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(parse_num(
+                    &value("--checkpoint-every")?,
+                    "--checkpoint-every",
+                )?);
+            }
+            "--resume" => args.resume = true,
             "--verify-determinism" => args.verify_determinism = true,
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--runs-dir" => args.runs_dir = Some(PathBuf::from(value("--runs-dir")?)),
@@ -226,8 +244,18 @@ fn cmd_run(args: &Args, scale: Scale) -> ExitCode {
             .map_or(defaults.timeout, Duration::from_secs),
         max_attempts: args.retries.map_or(defaults.max_attempts, |r| r + 1),
         verify_determinism: args.verify_determinism,
+        checkpoint_every: args.checkpoint_every,
+        resume: args.resume,
         quiet: args.quiet,
     };
+    if cfg.resume && cfg.checkpoint_every.is_none() {
+        eprintln!("chats-run: --resume needs --checkpoint-every");
+        return ExitCode::from(2);
+    }
+    if cfg.checkpoint_every == Some(0) {
+        eprintln!("chats-run: --checkpoint-every must be positive");
+        return ExitCode::from(2);
+    }
     if !cfg.quiet {
         eprintln!(
             "chats-run: {} jobs ({}, {} scale) on {} workers",

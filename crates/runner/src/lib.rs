@@ -25,6 +25,7 @@
 //! so figures and ad-hoc sweeps share the same cache.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod experiments;
 pub mod hash;
 pub mod job;
@@ -33,6 +34,7 @@ pub mod manifest;
 pub mod pool;
 
 pub use cache::{default_cache_dir, DiskCache, CACHE_VERSION};
+pub use checkpoint::{checkpoint_dir, execute_checkpointed, CheckpointConfig, CommitMeta};
 pub use experiments::{contended, Scale, MAIN_SYSTEMS};
 pub use job::{JobId, JobSet, JobSpec};
 pub use json::Json;

@@ -159,6 +159,13 @@ pub fn manifest_json_with_profile(
                     crate::cache::stats_to_json(stats),
                 );
             }
+            // A checkpointed execution records its epoch-commitment
+            // chain: two manifests for the same job can be diffed
+            // epoch-by-epoch (see `chats-dissect`) without re-running
+            // anything.
+            if let Some(meta) = &r.commit {
+                m.insert("commit".to_string(), commit_to_json(meta));
+            }
             Json::Obj(m)
         })
         .collect();
@@ -202,6 +209,34 @@ pub fn manifest_json_with_profile(
         root.insert("profile".to_string(), Json::Str(rel.to_string()));
     }
     Json::Obj(root)
+}
+
+/// The manifest form of a job's commitment bookkeeping: interval, epoch
+/// count, optional resume point, and the chain itself with both hashes
+/// rendered as 16 hex digits.
+fn commit_to_json(meta: &crate::checkpoint::CommitMeta) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("interval".to_string(), Json::U64(meta.interval));
+    m.insert("epochs".to_string(), Json::U64(meta.chain.len() as u64));
+    if let Some(boundary) = meta.resumed_from {
+        m.insert("resumed_from".to_string(), Json::U64(boundary));
+    }
+    m.insert(
+        "chain".to_string(),
+        Json::Arr(
+            meta.chain
+                .iter()
+                .map(|e| {
+                    let mut c = BTreeMap::new();
+                    c.insert("boundary".to_string(), Json::U64(e.boundary));
+                    c.insert("full".to_string(), Json::Str(format!("{:016x}", e.full)));
+                    c.insert("arch".to_string(), Json::Str(format!("{:016x}", e.arch)));
+                    Json::Obj(c)
+                })
+                .collect(),
+        ),
+    );
+    Json::Obj(m)
 }
 
 /// Writes the manifest for a report into `dir`.
@@ -291,6 +326,12 @@ pub fn canonical_manifest(report: &RunReport, sets: &[String], scale: &str) -> S
                     m.remove("worker");
                     m.remove("events_per_sec");
                     m.remove("commits_per_sec");
+                    // Where a run resumed from depends on wall-clock
+                    // history (which attempt got interrupted); the chain
+                    // itself must not.
+                    if let Some(Json::Obj(commit)) = m.get_mut("commit") {
+                        commit.remove("resumed_from");
+                    }
                 }
             }
             jobs.sort_by_key(|j| match j.get("id") {
@@ -360,6 +401,7 @@ mod tests {
                     attempts: 1,
                     millis: 120,
                     worker: 0,
+                    commit: None,
                 },
                 JobRecord {
                     id: "00000000000000bb".into(),
@@ -368,6 +410,7 @@ mod tests {
                     attempts: 0,
                     millis: 1,
                     worker: 1,
+                    commit: None,
                 },
                 JobRecord {
                     id: "00000000000000cc".into(),
@@ -376,6 +419,7 @@ mod tests {
                     attempts: 2,
                     millis: 30,
                     worker: 0,
+                    commit: None,
                 },
                 JobRecord {
                     id: "00000000000000dd".into(),
@@ -391,6 +435,7 @@ mod tests {
                     attempts: 1,
                     millis: 40,
                     worker: 1,
+                    commit: None,
                 },
             ],
             results: HashMap::new(),
@@ -463,6 +508,49 @@ mod tests {
         assert!(!canon.contains("commits_per_sec"), "{canon}");
         assert!(canon.contains("commits_per_mcycle"), "{canon}");
         assert!(canon.contains("commits_total"), "{canon}");
+    }
+
+    #[test]
+    fn commit_meta_is_recorded_and_resume_point_canonicalized_away() {
+        use crate::checkpoint::CommitMeta;
+        use chats_machine::EpochCommitment;
+        let mut report = sample_report();
+        report.records[0].commit = Some(CommitMeta {
+            interval: 1024,
+            resumed_from: Some(2048),
+            chain: vec![
+                EpochCommitment {
+                    boundary: 0,
+                    full: 0xAB,
+                    arch: 0xCD,
+                },
+                EpochCommitment {
+                    boundary: 1024,
+                    full: 0x12,
+                    arch: 0x34,
+                },
+            ],
+        });
+        let m = manifest_json(&report, &["fig4".into()], "quick", "r");
+        let per_job = m.get("per_job").and_then(Json::as_arr).unwrap();
+        let commit = per_job[0].get("commit").expect("commit object");
+        assert_eq!(commit.get("interval").and_then(Json::as_u64), Some(1024));
+        assert_eq!(commit.get("epochs").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            commit.get("resumed_from").and_then(Json::as_u64),
+            Some(2048)
+        );
+        let chain = commit.get("chain").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            chain[0].get("full").and_then(Json::as_str),
+            Some("00000000000000ab")
+        );
+        assert_eq!(chain[1].get("boundary").and_then(Json::as_u64), Some(1024));
+        assert!(per_job[1].get("commit").is_none(), "uncheckpointed jobs");
+        // The chain survives canonicalization; the resume point does not.
+        let canon = canonical_manifest(&report, &["fig4".into()], "quick");
+        assert!(!canon.contains("resumed_from"), "{canon}");
+        assert!(canon.contains("00000000000000ab"), "{canon}");
     }
 
     #[test]

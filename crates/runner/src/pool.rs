@@ -11,6 +11,7 @@
 //! deterministic and re-running it would only burn time.
 
 use crate::cache::{default_cache_dir, DiskCache};
+use crate::checkpoint::{checkpoint_dir, execute_checkpointed, CheckpointConfig, CommitMeta};
 use crate::job::{JobSet, JobSpec};
 use chats_stats::RunStats;
 use std::collections::HashMap;
@@ -37,6 +38,15 @@ pub struct RunnerConfig {
     /// Execute every cache-missing job twice and demand bit-identical
     /// statistics (the determinism gate). Doubles execution cost.
     pub verify_determinism: bool,
+    /// Checkpoint stride in simulated cycles: every executed job pauses
+    /// at each multiple, writes a machine snapshot under
+    /// `<cache-dir>/checkpoints/`, and records its epoch-commitment
+    /// chain in the manifest. `None` (the default) runs jobs straight
+    /// through, exactly as before checkpointing existed.
+    pub checkpoint_every: Option<u64>,
+    /// Restore interrupted jobs from their last checkpoint instead of
+    /// starting at cycle 0. Only meaningful with `checkpoint_every`.
+    pub resume: bool,
     /// Suppress per-job progress lines on stderr.
     pub quiet: bool,
 }
@@ -50,6 +60,8 @@ impl Default for RunnerConfig {
             timeout: Duration::from_secs(900),
             max_attempts: 2,
             verify_determinism: false,
+            checkpoint_every: None,
+            resume: false,
             quiet: false,
         }
     }
@@ -139,6 +151,10 @@ pub struct JobRecord {
     pub millis: u64,
     /// Index of the worker that ran the job.
     pub worker: usize,
+    /// Commitment bookkeeping, when the job executed under
+    /// checkpointing: epoch interval, resume point and the full
+    /// commitment chain.
+    pub commit: Option<CommitMeta>,
 }
 
 /// Everything a [`Runner::run_set`] call produced.
@@ -207,7 +223,7 @@ impl RunReport {
 }
 
 enum Attempt {
-    Success(RunStats),
+    Success(Box<RunStats>, Option<CommitMeta>),
     SimError(String),
     /// The simulation's own cycle budget tripped — deterministic, so
     /// retrying is pointless, but the machine's partial statistics
@@ -266,7 +282,7 @@ impl Runner {
     /// Returns the failure message for simulation errors, exhausted
     /// retries, timeouts and determinism violations.
     pub fn run_one(&self, spec: &JobSpec) -> Result<RunStats, String> {
-        let (outcome, _attempts, stats) = self.resolve(spec);
+        let (outcome, _attempts, stats, _commit) = self.resolve(spec);
         match stats {
             Some(s) => Ok(s),
             None => Err(outcome.error().map_or_else(
@@ -296,7 +312,7 @@ impl Runner {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
                     let t0 = Instant::now();
-                    let (outcome, attempts, _stats) = self.resolve(spec);
+                    let (outcome, attempts, _stats, commit) = self.resolve(spec);
                     let record = JobRecord {
                         id: spec.id().to_string(),
                         label: spec.label(),
@@ -304,6 +320,7 @@ impl Runner {
                         attempts,
                         millis: u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX),
                         worker,
+                        commit,
                     };
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if !self.cfg.quiet {
@@ -342,26 +359,36 @@ impl Runner {
         }
     }
 
-    fn resolve(&self, spec: &JobSpec) -> (JobOutcome, u32, Option<RunStats>) {
+    /// The checkpoint policy executions run under, if any.
+    fn checkpoint_config(&self) -> Option<CheckpointConfig> {
+        self.cfg.checkpoint_every.map(|every| CheckpointConfig {
+            every,
+            resume: self.cfg.resume,
+            dir: checkpoint_dir(&self.cfg.cache_dir),
+        })
+    }
+
+    fn resolve(&self, spec: &JobSpec) -> (JobOutcome, u32, Option<RunStats>, Option<CommitMeta>) {
         let id = spec.id().0;
         if let Some(stats) = self.memo.lock().unwrap().get(&id) {
-            return (JobOutcome::Cached, 0, Some(stats.clone()));
+            return (JobOutcome::Cached, 0, Some(stats.clone()), None);
         }
         if self.cfg.use_cache {
             if let Some(stats) = self.cache.load(spec) {
                 self.memo.lock().unwrap().insert(id, stats.clone());
-                return (JobOutcome::Cached, 0, Some(stats));
+                return (JobOutcome::Cached, 0, Some(stats), None);
             }
         }
+        let ckpt = self.checkpoint_config();
         let mut attempts = 0;
         loop {
             attempts += 1;
-            match attempt_once(spec, self.cfg.timeout) {
-                Attempt::Success(stats) => {
+            match attempt_once(spec, self.cfg.timeout, ckpt.as_ref()) {
+                Attempt::Success(stats, commit) => {
                     if self.cfg.verify_determinism {
                         attempts += 1;
                         if let Some(why) = self.determinism_divergence(spec, &stats) {
-                            return (JobOutcome::DeterminismViolation(why), attempts, None);
+                            return (JobOutcome::DeterminismViolation(why), attempts, None, None);
                         }
                     }
                     if self.cfg.use_cache {
@@ -372,12 +399,17 @@ impl Runner {
                             );
                         }
                     }
-                    self.memo.lock().unwrap().insert(id, stats.clone());
-                    return (JobOutcome::Executed, attempts, Some(stats));
+                    self.memo.lock().unwrap().insert(id, (*stats).clone());
+                    return (JobOutcome::Executed, attempts, Some(*stats), commit);
                 }
-                Attempt::SimError(e) => return (JobOutcome::Failed(e), attempts, None),
+                Attempt::SimError(e) => return (JobOutcome::Failed(e), attempts, None, None),
                 Attempt::SimTimeout { message, partial } => {
-                    return (JobOutcome::TimedOut { message, partial }, attempts, None)
+                    return (
+                        JobOutcome::TimedOut { message, partial },
+                        attempts,
+                        None,
+                        None,
+                    )
                 }
                 Attempt::Panicked(msg) => {
                     if attempts >= self.cfg.max_attempts {
@@ -386,6 +418,7 @@ impl Runner {
                                 "panicked after {attempts} attempts: {msg}"
                             )),
                             attempts,
+                            None,
                             None,
                         );
                     }
@@ -402,6 +435,7 @@ impl Runner {
                             },
                             attempts,
                             None,
+                            None,
                         );
                     }
                 }
@@ -412,9 +446,12 @@ impl Runner {
     /// Re-executes `spec` and describes the divergence from `first`, or
     /// `None` when the re-run reproduced it bit-for-bit.
     fn determinism_divergence(&self, spec: &JobSpec, first: &RunStats) -> Option<String> {
-        match attempt_once(spec, self.cfg.timeout) {
-            Attempt::Success(second) if &second == first => None,
-            Attempt::Success(second) => Some(first_divergence(first, &second)),
+        // The re-run is deliberately un-checkpointed: a straight-through
+        // execution matching a paused-and-snapshotted one is a stronger
+        // determinism statement than running the same path twice.
+        match attempt_once(spec, self.cfg.timeout, None) {
+            Attempt::Success(second, _) if *second == *first => None,
+            Attempt::Success(second, _) => Some(first_divergence(first, &second)),
             Attempt::SimError(e) => Some(format!("re-run errored: {e}")),
             Attempt::SimTimeout { message, .. } => Some(format!("re-run timed out: {message}")),
             Attempt::Panicked(msg) => Some(format!("re-run panicked: {msg}")),
@@ -443,14 +480,21 @@ fn first_divergence(a: &RunStats, b: &RunStats) -> String {
 }
 
 /// One execution attempt on a dedicated thread: panics are caught,
-/// overruns abandon the thread.
-fn attempt_once(spec: &JobSpec, timeout: Duration) -> Attempt {
+/// overruns abandon the thread. With a checkpoint policy the attempt
+/// pauses and snapshots at every stride — an abandoned thread's last
+/// checkpoint survives on disk, which is exactly what `--resume` picks
+/// up later.
+fn attempt_once(spec: &JobSpec, timeout: Duration, ckpt: Option<&CheckpointConfig>) -> Attempt {
     let (tx, rx) = mpsc::channel();
     let owned = spec.clone();
+    let ckpt = ckpt.cloned();
     let spawned = thread::Builder::new()
         .name(format!("chats-job-{}", owned.id()))
         .spawn(move || {
-            let result = panic::catch_unwind(AssertUnwindSafe(|| owned.execute_partial()));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| match &ckpt {
+                Some(c) => execute_checkpointed(&owned, c).map(|(stats, meta)| (stats, Some(meta))),
+                None => owned.execute_partial().map(|stats| (stats, None)),
+            }));
             let _ = tx.send(result);
         });
     let handle = match spawned {
@@ -461,7 +505,7 @@ fn attempt_once(spec: &JobSpec, timeout: Duration) -> Attempt {
         Ok(run) => {
             let _ = handle.join();
             match run {
-                Ok(Ok(stats)) => Attempt::Success(stats),
+                Ok(Ok((stats, meta))) => Attempt::Success(Box::new(stats), meta),
                 Ok(Err(fail)) if fail.timed_out => Attempt::SimTimeout {
                     message: fail.message,
                     partial: fail.partial,
@@ -517,7 +561,7 @@ mod tests {
             PolicyConfig::for_system(HtmSystem::Baseline),
             RunConfig::quick_test(),
         );
-        let (outcome, attempts, stats) = r.resolve(&spec);
+        let (outcome, attempts, stats, _) = r.resolve(&spec);
         assert_eq!(outcome.label(), "failed");
         assert_eq!(attempts, 1, "simulation errors must not consume retries");
         assert!(stats.is_none());
@@ -547,7 +591,7 @@ mod tests {
         assert!(!report.all_succeeded());
         assert!(report.stats_for(&spec).is_some());
         // Second resolution of the same job is a memo hit.
-        let (outcome, _, _) = r.resolve(&spec);
+        let (outcome, _, _, _) = r.resolve(&spec);
         assert_eq!(outcome, JobOutcome::Cached);
     }
 
@@ -558,7 +602,7 @@ mod tests {
         let mut cfg = RunConfig::quick_test();
         cfg.max_cycles = 50; // far too small for any workload to finish
         let spec = JobSpec::new("cadd", PolicyConfig::for_system(HtmSystem::Chats), cfg);
-        let (outcome, attempts, stats) = r.resolve(&spec);
+        let (outcome, attempts, stats, _) = r.resolve(&spec);
         assert_eq!(outcome.label(), "timed-out");
         assert_eq!(
             attempts, 1,
@@ -596,6 +640,7 @@ mod tests {
                     attempts: 1,
                     millis: 300,
                     worker: 0,
+                    commit: None,
                 },
                 JobRecord {
                     id: "1".into(),
@@ -604,6 +649,7 @@ mod tests {
                     attempts: 1,
                     millis: 300,
                     worker: 1,
+                    commit: None,
                 },
             ],
             results: HashMap::new(),

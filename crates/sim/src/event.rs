@@ -88,6 +88,16 @@ impl Sub<Cycle> for Cycle {
     }
 }
 
+impl chats_snap::Snap for Cycle {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.0);
+    }
+
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(Cycle(r.u64()?))
+    }
+}
+
 /// Slots in the wheel window. Power of two, so a timestamp maps to its
 /// slot with a mask instead of a modulo. 1024 covers every latency in
 /// the Table-I machine (the longest single hop plus backoff is far under
@@ -345,6 +355,34 @@ impl<E> EventQueue<E> {
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Every pending event in exact delivery order — time ascending, FIFO
+    /// within a timestamp — without disturbing the queue. Re-pushing the
+    /// returned sequence into a fresh queue reproduces the same delivery
+    /// order, which is how checkpoints serialize the queue (delivery
+    /// order is the queue's only observable state; wheel geometry is
+    /// not).
+    #[must_use]
+    pub fn ordered(&self) -> Vec<(Cycle, &E)> {
+        let mut out = Vec::with_capacity(self.len);
+        // Spill keys are either behind the cursor (late pushes into the
+        // past) or at/after the window end, never inside the un-drained
+        // window — so past-spill ++ wheel ++ future-spill is sorted.
+        for (&t, bucket) in self.overflow.range(..self.cursor) {
+            out.extend(bucket.iter().map(|e| (Cycle(t), e)));
+        }
+        if self.wheel_len > 0 {
+            for t in self.cursor..self.wheel_end() {
+                let slot = &self.slots[(t & WHEEL_MASK) as usize];
+                out.extend(slot.iter().map(|e| (Cycle(t), e)));
+            }
+        }
+        for (&t, bucket) in self.overflow.range(self.cursor..) {
+            out.extend(bucket.iter().map(|e| (Cycle(t), e)));
+        }
+        debug_assert_eq!(out.len(), self.len, "ordered() missed events");
+        out
     }
 }
 
@@ -653,6 +691,32 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle(u64::MAX - 1), 'y')));
         assert_eq!(q.pop(), Some((Cycle(u64::MAX), 'z')));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ordered_matches_pop_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(100), 0);
+        assert_eq!(q.pop(), Some((Cycle(100), 0)));
+        // Past push, window ties, and far-future spill all at once.
+        q.push(Cycle(40), 1);
+        q.push(Cycle(100), 2);
+        q.push(Cycle(100), 3);
+        q.push(Cycle(100 + 10 * WHEEL_SLOTS as u64), 4);
+        q.push(Cycle(40), 5);
+        let snap: Vec<(Cycle, i32)> = q.ordered().into_iter().map(|(t, &e)| (t, e)).collect();
+        let mut popped = Vec::new();
+        while let Some(x) = q.pop() {
+            popped.push(x);
+        }
+        assert_eq!(snap, popped);
+        // Re-pushing the snapshot reproduces the same delivery order.
+        let mut fresh = EventQueue::new();
+        for &(t, e) in &snap {
+            fresh.push(t, e);
+        }
+        let replay: Vec<(Cycle, i32)> = std::iter::from_fn(|| fresh.pop()).collect();
+        assert_eq!(replay, popped);
     }
 
     #[test]

@@ -110,6 +110,20 @@ impl SimRng {
     }
 }
 
+impl chats_snap::Snap for SimRng {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.state.save(w);
+    }
+
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        let state = <[u64; 4]>::load(r)?;
+        if state == [0; 4] {
+            return Err(r.err("xoshiro256++ state must not be all-zero"));
+        }
+        Ok(SimRng { state })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

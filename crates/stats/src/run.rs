@@ -86,6 +86,68 @@ pub struct RunStats {
     pub chain_depth_hist: BTreeMap<u32, u64>,
 }
 
+impl chats_snap::Snap for TxOutcomeCounts {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.committed);
+        w.u64(self.aborted);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(TxOutcomeCounts {
+            committed: r.u64()?,
+            aborted: r.u64()?,
+        })
+    }
+}
+
+impl chats_snap::Snap for RunStats {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        w.u64(self.cycles);
+        w.u64(self.commits);
+        w.u64(self.tx_attempts);
+        self.aborts.save(w);
+        w.u64(self.conflicts);
+        w.u64(self.forwardings);
+        self.forwarder_outcomes.save(w);
+        self.conflicted_outcomes.save(w);
+        w.u64(self.validation_attempts);
+        w.u64(self.validations_ok);
+        w.u64(self.flits);
+        w.u64(self.control_messages);
+        w.u64(self.data_messages);
+        w.u64(self.fallback_acquisitions);
+        w.u64(self.power_grants);
+        w.u64(self.nacks);
+        w.u64(self.instructions);
+        w.u64(self.events);
+        self.max_chain_depth.save(w);
+        self.chain_depth_hist.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(RunStats {
+            cycles: r.u64()?,
+            commits: r.u64()?,
+            tx_attempts: r.u64()?,
+            aborts: chats_snap::Snap::load(r)?,
+            conflicts: r.u64()?,
+            forwardings: r.u64()?,
+            forwarder_outcomes: chats_snap::Snap::load(r)?,
+            conflicted_outcomes: chats_snap::Snap::load(r)?,
+            validation_attempts: r.u64()?,
+            validations_ok: r.u64()?,
+            flits: r.u64()?,
+            control_messages: r.u64()?,
+            data_messages: r.u64()?,
+            fallback_acquisitions: r.u64()?,
+            power_grants: r.u64()?,
+            nacks: r.u64()?,
+            instructions: r.u64()?,
+            events: r.u64()?,
+            max_chain_depth: chats_snap::Snap::load(r)?,
+            chain_depth_hist: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
 impl RunStats {
     /// Adds one abort with its cause.
     pub fn record_abort(&mut self, cause: AbortCause) {

@@ -51,6 +51,21 @@ impl VmSnapshot {
     }
 }
 
+impl chats_snap::Snap for VmSnapshot {
+    fn save(&self, w: &mut chats_snap::SnapWriter) {
+        self.pc.save(w);
+        self.regs.save(w);
+        self.rng.save(w);
+    }
+    fn load(r: &mut chats_snap::SnapReader<'_>) -> Result<Self, chats_snap::SnapError> {
+        Ok(VmSnapshot {
+            pc: chats_snap::Snap::load(r)?,
+            regs: chats_snap::Snap::load(r)?,
+            rng: chats_snap::Snap::load(r)?,
+        })
+    }
+}
+
 /// One hardware thread's interpreter state.
 ///
 /// See the [crate docs](crate) for the stepping protocol.
@@ -246,6 +261,66 @@ impl Vm {
         }
         self.retired += 1;
         VmEvent::Compute(1)
+    }
+
+    /// Serializes the mutable interpreter state — everything except the
+    /// program, which is immutable and deterministically rebuilt by the
+    /// workload setup on restore (checkpoints carry machine state, not
+    /// code).
+    pub fn save_state(&self, w: &mut chats_snap::SnapWriter) {
+        use chats_snap::Snap;
+        w.u64(self.pc as u64);
+        self.regs.save(w);
+        match self.pending {
+            None => w.u8(0),
+            Some(Pending::Load(reg)) => {
+                w.u8(1);
+                w.u8(reg.0);
+            }
+            Some(Pending::Store) => w.u8(2),
+        }
+        self.halted.save(w);
+        self.rng.save(w);
+        w.u64(self.retired);
+    }
+
+    /// Restores state captured by [`Vm::save_state`] into a VM that was
+    /// rebuilt with the same program.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed stream or a program counter outside the
+    /// program.
+    pub fn restore_state(
+        &mut self,
+        r: &mut chats_snap::SnapReader<'_>,
+    ) -> Result<(), chats_snap::SnapError> {
+        use chats_snap::Snap;
+        let pc = usize::load(r)?;
+        if pc >= self.program.len() {
+            return Err(r.err(format!(
+                "pc {pc} outside the {}-instruction program",
+                self.program.len()
+            )));
+        }
+        self.pc = pc;
+        self.regs = Snap::load(r)?;
+        self.pending = match r.u8()? {
+            0 => None,
+            1 => {
+                let reg = r.u8()?;
+                if reg as usize >= NUM_REGS {
+                    return Err(r.err(format!("pending-load register r{reg} out of range")));
+                }
+                Some(Pending::Load(Reg(reg)))
+            }
+            2 => Some(Pending::Store),
+            t => return Err(r.err(format!("bad pending tag {t}"))),
+        };
+        self.halted = Snap::load(r)?;
+        self.rng = Snap::load(r)?;
+        self.retired = r.u64()?;
+        Ok(())
     }
 }
 

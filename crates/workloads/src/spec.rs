@@ -236,12 +236,32 @@ pub fn run_workload_traced(
         .map_err(|fail| fail.message)
 }
 
-fn run_machine(
-    workload: &dyn Workload,
-    policy: PolicyConfig,
-    cfg: &RunConfig,
-    sink: Option<Box<dyn TraceSink>>,
-) -> Result<(RunOutput, Option<Box<dyn TraceSink>>), RunFailure> {
+/// A machine built and loaded for one `(workload, policy, config)` run,
+/// plus the workload's invariant checker.
+///
+/// This is **the** construction path: `run_workload`, the runner's resume
+/// machinery and the dissection tool all build machines through here, so
+/// an identically parameterised [`prepare_run`] always yields an
+/// identically constructed machine — the property `Machine::restore`'s
+/// configuration guard relies on.
+pub struct PreparedRun {
+    /// The loaded machine, ready to run (trace sinks and commit intervals
+    /// are installed by the caller).
+    pub machine: Machine,
+    /// Validates final memory after the run.
+    pub checker: Checker,
+}
+
+/// Builds the machine for `(workload, policy, cfg)`: deterministic
+/// workload setup from the config seed, fault plan installation, initial
+/// memory image, and one VM per thread.
+///
+/// # Panics
+///
+/// Panics if the workload produces a thread count different from
+/// `cfg.threads`.
+#[must_use]
+pub fn prepare_run(workload: &dyn Workload, policy: PolicyConfig, cfg: &RunConfig) -> PreparedRun {
     let mut sys = cfg.system;
     sys.core.cores = cfg.threads;
     let mut rng = SimRng::seed_from(cfg.seed);
@@ -252,9 +272,6 @@ fn run_machine(
         "workload produced a wrong thread count"
     );
     let mut m = Machine::new(sys, policy, cfg.tuning, cfg.seed);
-    if let Some(sink) = sink {
-        m.set_trace_sink(sink);
-    }
     if let Some(plan) = &cfg.faults {
         m.set_fault_plan(plan);
     }
@@ -267,6 +284,25 @@ fn run_machine(
             vm.preset_reg(r, v);
         }
         m.load_thread(t, vm);
+    }
+    PreparedRun {
+        machine: m,
+        checker: setup.checker,
+    }
+}
+
+fn run_machine(
+    workload: &dyn Workload,
+    policy: PolicyConfig,
+    cfg: &RunConfig,
+    sink: Option<Box<dyn TraceSink>>,
+) -> Result<(RunOutput, Option<Box<dyn TraceSink>>), RunFailure> {
+    let PreparedRun {
+        machine: mut m,
+        checker,
+    } = prepare_run(workload, policy, cfg);
+    if let Some(sink) = sink {
+        m.set_trace_sink(sink);
     }
     let stats = match m.run(cfg.max_cycles) {
         Ok(s) => s,
@@ -298,7 +334,7 @@ fn run_machine(
             });
         }
     };
-    (setup.checker)(&m).map_err(|e| RunFailure {
+    (checker)(&m).map_err(|e| RunFailure {
         message: format!(
             "{} under {:?}: transactional semantics violated: {e}",
             workload.name(),
